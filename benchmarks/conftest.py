@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Every figure benchmark runs at the "tiny" experiment scale by default so the
+whole suite finishes in minutes on a laptop CPU.  Set ``REPRO_SCALE=small``
+(or ``paper``) in the environment to run larger reproductions; the figure
+code is identical, only the workload sizes and training budgets change.
+
+Heavy experiment functions are benchmarked with ``rounds=1`` — the quantity
+of interest is the figure data they produce (printed and attached to
+``benchmark.extra_info``), not sub-millisecond timing stability.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import get_scale
+from repro.harness.scales import ExperimentScale
+
+
+def pytest_report_header(config):
+    scale = os.environ.get("REPRO_SCALE", "tiny")
+    return f"repro experiment scale: {scale}"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The experiment scale used by every figure benchmark."""
+    return get_scale(os.environ.get("REPRO_SCALE", "tiny"))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a heavy experiment exactly once under pytest-benchmark timing."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

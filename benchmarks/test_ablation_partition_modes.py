@@ -1,0 +1,53 @@
+"""Ablation: top-node partitioning mode (none vs simple vs EffiCuts).
+
+Table 1 calls the top-node partitioning the most sensitive hyperparameter:
+it "strongly biases NeuroCuts towards learning trees optimized for time
+(none) vs space (EffiCuts), or somewhere in the middle (simple)".  This
+ablation trains all three modes on the same firewall classifier with the
+same budget and reports where each lands on the time/space plane.
+"""
+
+from __future__ import annotations
+
+from repro.classbench import generate_classifier
+from repro.harness import format_table
+from repro.neurocuts import NeuroCutsTrainer
+from repro.tree import validate_classifier
+
+
+def test_ablation_partition_modes(scale, run_once):
+    def run_ablation():
+        ruleset = generate_classifier("fw2", 80, seed=4)
+        results = {}
+        for mode in ("none", "simple", "efficuts"):
+            config = scale.neurocuts_config(
+                partition_mode=mode,
+                time_space_coeff=0.5,
+                reward_scaling="log",
+                max_timesteps_total=max(4000, scale.neurocuts_timesteps // 3),
+                seed=0,
+            )
+            result = NeuroCutsTrainer(ruleset, config).train()
+            classifier = result.best_classifier()
+            assert validate_classifier(classifier,
+                                       num_random_packets=80).is_correct
+            stats = classifier.stats()
+            results[mode] = {
+                "classification_time": stats.classification_time,
+                "bytes_per_rule": stats.bytes_per_rule,
+                "num_nodes": stats.num_nodes,
+            }
+        return results
+
+    results = run_once(run_ablation)
+    print("\n=== Ablation: top-node partitioning mode ===")
+    print(format_table(
+        ["partition mode", "classification time", "bytes/rule", "nodes"],
+        [[mode, r["classification_time"], r["bytes_per_rule"], r["num_nodes"]]
+         for mode, r in results.items()],
+    ))
+
+    assert set(results) == {"none", "simple", "efficuts"}
+    for r in results.values():
+        assert r["classification_time"] >= 1
+        assert r["bytes_per_rule"] > 0

@@ -1,0 +1,89 @@
+"""Ablations of the NeuroCuts reward design choices (DESIGN.md ablation index).
+
+Two design decisions from Section 4.2 / 5.1 are ablated here:
+
+* **Dense subtree rewards vs a single root reward** — the paper argues that
+  crediting each decision with its own subtree's objective ("subtree" mode)
+  is what makes learning practical; the ablation gives every decision only
+  the whole-tree reward ("root" mode).
+* **Reward scaling** — linear f(x) = x vs logarithmic f(x) = log x when
+  mixing the time and space objectives (the paper uses log when c < 1).
+
+Both ablations train two configurations on the same classifier with the same
+budget and report the objective of the best tree found.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.classbench import generate_classifier
+from repro.harness import format_table
+from repro.neurocuts import NeuroCutsTrainer
+from repro.tree import validate_classifier
+
+
+def _train(scale, ruleset, **config_overrides):
+    config = scale.neurocuts_config(
+        max_timesteps_total=max(4000, scale.neurocuts_timesteps // 3),
+        **config_overrides,
+    )
+    result = NeuroCutsTrainer(ruleset, config).train()
+    classifier = result.best_classifier()
+    assert validate_classifier(classifier, num_random_packets=80).is_correct
+    stats = classifier.stats()
+    return {
+        "best_objective": result.best_objective,
+        "classification_time": stats.classification_time,
+        "bytes_per_rule": stats.bytes_per_rule,
+    }
+
+
+def test_ablation_dense_vs_root_reward(scale, run_once):
+    """Dense per-subtree rewards should learn at least as well as root-only."""
+
+    def run_ablation():
+        ruleset = generate_classifier("fw1", 70, seed=2)
+        dense = _train(scale, ruleset, reward_mode="subtree",
+                       time_space_coeff=1.0, seed=0)
+        sparse = _train(scale, ruleset, reward_mode="root",
+                        time_space_coeff=1.0, seed=0)
+        return dense, sparse
+
+    dense, sparse = run_once(run_ablation)
+    print("\n=== Ablation: dense subtree rewards vs single root reward ===")
+    print(format_table(
+        ["variant", "best objective", "classification time", "bytes/rule"],
+        [["subtree (paper)", dense["best_objective"],
+          dense["classification_time"], dense["bytes_per_rule"]],
+         ["root only (ablation)", sparse["best_objective"],
+          sparse["classification_time"], sparse["bytes_per_rule"]]],
+    ))
+    # Both must produce working classifiers; dense credit assignment should
+    # not be worse than the noisy root-only variant by more than noise.
+    assert dense["best_objective"] <= sparse["best_objective"] * 1.5
+
+
+def test_ablation_reward_scaling(scale, run_once):
+    """Linear vs log reward scaling for a mixed time/space objective."""
+
+    def run_ablation():
+        ruleset = generate_classifier("fw3", 70, seed=3)
+        results = {}
+        for scaling in ("linear", "log"):
+            results[scaling] = _train(
+                scale, ruleset, reward_scaling=scaling, time_space_coeff=0.5,
+                partition_mode="simple", seed=0,
+            )
+        return results
+
+    results = run_once(run_ablation)
+    print("\n=== Ablation: reward scaling for the mixed objective (c = 0.5) ===")
+    print(format_table(
+        ["scaling", "classification time", "bytes/rule"],
+        [[name, r["classification_time"], r["bytes_per_rule"]]
+         for name, r in results.items()],
+    ))
+    for r in results.values():
+        assert r["classification_time"] >= 1
+        assert r["bytes_per_rule"] > 0

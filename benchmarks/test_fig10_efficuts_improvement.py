@@ -1,0 +1,40 @@
+"""Figure 10: NeuroCuts building on the EffiCuts partitioner vs plain EffiCuts.
+
+Paper result: with only the EffiCuts partition action allowed, NeuroCuts
+produces trees that are up to 10x more space-efficient than EffiCuts, with a
+29 % median space improvement and roughly unchanged classification time
+(Figure 10a/b show the sorted per-classifier improvement rankings).
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_figure10, summary_table
+from repro.metrics import sorted_improvements
+
+
+def test_figure10_efficuts_improvement(scale, run_once):
+    result = run_once(run_figure10, scale)
+
+    print("\n=== Figure 10: NeuroCuts (EffiCuts partitioner) vs EffiCuts ===")
+    print(summary_table({
+        "space improvement (1 - ours/EffiCuts)":
+            result.space_improvement.as_dict(),
+        "time improvement (1 - ours/EffiCuts)":
+            result.time_improvement.as_dict(),
+    }))
+    print("sorted space improvements (Figure 10a x-axis order):",
+          [round(v, 3) for v in
+           sorted_improvements(result.space_improvement.per_classifier)])
+    print("sorted time improvements (Figure 10b x-axis order):",
+          [round(v, 3) for v in
+           sorted_improvements(result.time_improvement.per_classifier)])
+
+    # Structure: one improvement per classifier in the suite.
+    assert len(result.space_improvement.per_classifier) == len(scale.specs())
+    assert len(result.time_improvement.per_classifier) == len(scale.specs())
+
+    # Qualitative shape: improvements are bounded (1 - a/b can never exceed 1)
+    # and the time comparison stays in the same ballpark as EffiCuts (the
+    # paper reports "about the same time efficiency").
+    assert all(v <= 1.0 for v in result.space_improvement.per_classifier.values())
+    assert result.time_improvement.median >= -2.0

@@ -1,0 +1,51 @@
+"""Figure 11: sweeping the time-space coefficient c.
+
+Paper result: with the simple partition mode and log reward scaling, the
+median classification time improves roughly 2x as c goes to 1, and the
+median bytes per rule improves roughly 2x as c goes to 0 — i.e. c is an
+effective knob for trading the two objectives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.classbench import ClassifierSpec
+from repro.harness import run_figure11, series_table
+
+
+def test_figure11_time_space_tradeoff(scale, run_once):
+    # Two classifiers keep this sweep (4 coefficients x classifiers x a full
+    # training run each) within the benchmark time budget at tiny scale.
+    specs = [
+        ClassifierSpec(seed_name="fw5", scale="1k",
+                       num_rules=scale.scale_sizes[scale.scales[0]],
+                       seed=scale.seed),
+        ClassifierSpec(seed_name="acl1", scale="1k",
+                       num_rules=scale.scale_sizes[scale.scales[0]],
+                       seed=scale.seed),
+    ]
+    sweep_scale = dataclasses.replace(
+        scale, neurocuts_timesteps=max(4000, scale.neurocuts_timesteps // 3)
+    )
+    result = run_once(run_figure11, sweep_scale,
+                      coefficients=(0.0, 0.1, 0.5, 1.0), specs=specs)
+    series = result.series()
+
+    print("\n=== Figure 11: time-space coefficient sweep ===")
+    print(series_table(series))
+
+    assert series["c"] == [0.0, 0.1, 0.5, 1.0]
+    assert all(v > 0 for v in series["median_classification_time"])
+    assert all(v > 0 for v in series["median_bytes_per_rule"])
+
+    # Qualitative shape: the time-optimised end (c = 1) should classify at
+    # least as fast as the space-optimised end (c = 0), and the
+    # space-optimised end should not use more memory than the time-optimised
+    # end (allowing slack for the small training budgets).
+    time_c0 = series["median_classification_time"][0]
+    time_c1 = series["median_classification_time"][-1]
+    space_c0 = series["median_bytes_per_rule"][0]
+    space_c1 = series["median_bytes_per_rule"][-1]
+    assert time_c1 <= time_c0 * 1.25
+    assert space_c0 <= space_c1 * 1.25

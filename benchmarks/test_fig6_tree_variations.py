@@ -1,0 +1,37 @@
+"""Figure 6: tree variations sampled from one stochastic NeuroCuts policy.
+
+Paper result: because the learnt policy is stochastic, drawing several
+rollouts from the same trained policy yields distinct but similarly shaped
+trees (visualised for acl4_1k), which is what lets NeuroCuts keep exploring
+tree variations during training.
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_figure6
+from repro.neurocuts import render_profile
+
+
+def test_figure6_tree_variations(scale, run_once):
+    result = run_once(run_figure6, scale, seed_name="acl4", num_variations=4)
+
+    print("\n=== Figure 6: four trees sampled from one trained policy (acl4) ===")
+    for index, profile in enumerate(result.profiles):
+        print(f"\n--- variation {index + 1}: depth {profile.depth}, "
+              f"{profile.num_nodes} nodes ---")
+        print(render_profile(profile))
+
+    assert len(result.profiles) == 4
+    assert len(result.objectives) == 4
+
+    # Every sampled variation is a complete, non-trivial tree.
+    for profile in result.profiles:
+        assert profile.num_nodes >= 1
+        assert profile.depth >= 1
+
+    # The variations stay within a reasonable band of each other: the policy
+    # is stochastic but trained, so no sample should be wildly deeper than the
+    # best one (the paper's four samples all land in the same depth range).
+    best = min(result.objectives)
+    worst = max(result.objectives)
+    assert worst <= best * 4 + 4

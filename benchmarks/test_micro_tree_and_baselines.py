@@ -1,0 +1,93 @@
+"""Microbenchmarks of the shared substrates.
+
+These are conventional pytest-benchmark measurements (multiple rounds): the
+cost of building baseline trees, of classifying packets through a built
+tree, of one NeuroCuts rollout, and of one PPO update.  They quantify the
+"bulk of time is spent executing tree cut actions" observation from the
+paper's Section 5 and give a regression baseline for the Python substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import CutSplitBuilder, EffiCutsBuilder, HiCutsBuilder, \
+    HyperCutsBuilder
+from repro.classbench import generate_classifier, generate_trace
+from repro.neurocuts import NeuroCutsConfig, NeuroCutsEnv
+from repro.nn import ActorCriticMLP
+from repro.rl import Policy, PPOConfig, PPOLearner
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    return generate_classifier("acl1", 200, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trace(ruleset):
+    return generate_trace(ruleset, num_packets=500, seed=1)
+
+
+@pytest.mark.parametrize("builder_cls", [
+    HiCutsBuilder, HyperCutsBuilder, EffiCutsBuilder, CutSplitBuilder
+])
+def test_baseline_build_time(benchmark, ruleset, builder_cls):
+    builder = builder_cls(binth=16)
+    result = benchmark(builder.build, ruleset)
+    assert result.stats().num_nodes >= 1
+
+
+def test_tree_lookup_throughput(benchmark, ruleset, trace):
+    classifier = HiCutsBuilder(binth=16).build(ruleset)
+
+    def classify_all():
+        return [classifier.classify(p) for p in trace]
+
+    results = benchmark(classify_all)
+    assert all(r is not None for r in results)
+
+
+def test_linear_search_throughput(benchmark, ruleset, trace):
+    def classify_all():
+        return [ruleset.classify(p) for p in trace]
+
+    results = benchmark(classify_all)
+    assert all(r is not None for r in results)
+
+
+def test_neurocuts_rollout_cost(benchmark, ruleset):
+    config = NeuroCutsConfig.fast_test_config(
+        hidden_sizes=(64, 64), max_timesteps_per_rollout=300,
+        leaf_threshold=16, seed=0,
+    )
+    env = NeuroCutsEnv(ruleset, config)
+    model = ActorCriticMLP(env.observation_size, env.action_sizes,
+                           hidden_sizes=(64, 64), seed=0)
+    policy = Policy(model, env.action_space.space, seed=0)
+    result = benchmark(env.rollout, policy)
+    assert result.tree.is_complete()
+
+
+def test_ppo_update_cost(benchmark, ruleset):
+    config = NeuroCutsConfig.fast_test_config(hidden_sizes=(64, 64), seed=0)
+    env = NeuroCutsEnv(ruleset, config)
+    model = ActorCriticMLP(env.observation_size, env.action_sizes,
+                           hidden_sizes=(64, 64), seed=0)
+    policy = Policy(model, env.action_space.space, seed=0)
+    learner = PPOLearner(model, PPOConfig(num_sgd_iters=3,
+                                          sgd_minibatch_size=128,
+                                          learning_rate=1e-3))
+    rollout = env.rollout(policy)
+    stats = benchmark(learner.update, rollout.batch)
+    assert np.isfinite(stats.policy_loss)
+
+
+def test_observation_encoding_cost(benchmark, ruleset):
+    config = NeuroCutsConfig(partition_mode="simple")
+    env = NeuroCutsEnv(ruleset, config)
+    tree = env.new_tree()
+    node = tree.current_node() or tree.root
+    obs = benchmark(env.observation_encoder.encode, node)
+    assert obs.shape == (env.observation_size,)

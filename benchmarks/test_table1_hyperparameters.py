@@ -1,0 +1,53 @@
+"""Table 1: NeuroCuts hyperparameters.
+
+The table's default values must be the defaults of
+:class:`repro.neurocuts.NeuroCutsConfig`, and every value listed in the
+sweep sets must be accepted and produce a runnable configuration.  A short
+training run with a non-default sweep combination checks the swept values
+actually work end to end.
+"""
+
+from __future__ import annotations
+
+from repro.classbench import generate_classifier
+from repro.harness import format_table, table1_rows
+from repro.harness.experiments import TABLE1_SWEEPS
+from repro.neurocuts import NeuroCutsConfig, NeuroCutsTrainer
+from repro.tree import validate_classifier
+
+
+def test_table1_defaults_match_paper(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    print("\n=== Table 1: hyperparameters (paper default vs this library) ===")
+    print(format_table(["hyperparameter", "paper", "ours"],
+                       [[n, str(p), str(o)] for n, p, o in rows]))
+    mismatches = [name for name, paper, ours in rows if paper != ours]
+    assert mismatches == []
+
+
+def test_table1_swept_values_run(scale, run_once):
+    """Each swept hyperparameter value yields a config that trains and is correct."""
+
+    def run_sweep():
+        ruleset = generate_classifier("acl2", 60, seed=1)
+        outcomes = {}
+        for name, values in TABLE1_SWEEPS.items():
+            # The non-default value exercises the code path the default skips.
+            value = values[-1] if values[-1] != getattr(NeuroCutsConfig(), name,
+                                                        None) else values[0]
+            config = scale.neurocuts_config(
+                max_timesteps_total=1500, timesteps_per_batch=500,
+                **{name: value},
+            )
+            result = NeuroCutsTrainer(ruleset, config).train()
+            classifier = result.best_classifier()
+            correct = validate_classifier(classifier,
+                                          num_random_packets=80).is_correct
+            outcomes[f"{name}={value}"] = (result.best_objective, correct)
+        return outcomes
+
+    outcomes = run_once(run_sweep)
+    print("\n=== Table 1 sweep smoke runs ===")
+    for key, (objective, correct) in outcomes.items():
+        print(f"  {key:<40} objective={objective:10.2f} correct={correct}")
+    assert all(correct for _, correct in outcomes.values())

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Improving on a pre-engineered heuristic (the paper's Section 6.3 / Figure 10).
+
+NeuroCuts can incorporate the EffiCuts top-node partitioner as one of its
+actions and then learn the cutting decisions below it.  This example builds
+the same classifier with plain EffiCuts and with NeuroCuts restricted to the
+EffiCuts partition action, and reports the space/time improvement.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import EffiCutsBuilder
+from repro.classbench import generate_classifier
+from repro.metrics import improvement
+from repro.neurocuts import NeuroCutsConfig, NeuroCutsTrainer
+from repro.tree import validate_classifier
+
+
+def main() -> None:
+    ruleset = generate_classifier("fw2", 250, seed=0)
+    print(f"Classifier {ruleset.name!r} with {len(ruleset)} rules\n")
+
+    # Plain EffiCuts.
+    efficuts = EffiCutsBuilder(binth=16).build_with_stats(ruleset)
+    assert validate_classifier(efficuts.classifier,
+                               num_random_packets=200).is_correct
+
+    # NeuroCuts allowed to use the EffiCuts partition action at the top node,
+    # optimising a balanced time/space objective with log reward scaling.
+    config = NeuroCutsConfig(
+        time_space_coeff=0.5,
+        partition_mode="efficuts",
+        reward_scaling="log",
+        hidden_sizes=(64, 64),
+        max_timesteps_total=16_000,
+        timesteps_per_batch=1_000,
+        max_timesteps_per_rollout=600,
+        max_tree_depth=40,
+        num_sgd_iters=10,
+        sgd_minibatch_size=256,
+        learning_rate=1e-3,
+        leaf_threshold=16,
+        seed=0,
+    )
+    trainer = NeuroCutsTrainer(ruleset, config)
+    result = trainer.train()
+    neurocuts = result.best_classifier()
+    assert validate_classifier(neurocuts, num_random_packets=200).is_correct
+
+    ours = neurocuts.stats()
+    theirs = efficuts.stats
+    space_gain = improvement(ours.bytes_per_rule, theirs.bytes_per_rule)
+    time_gain = improvement(ours.classification_time, theirs.classification_time)
+
+    print(f"{'':<22}{'EffiCuts':>12} {'NeuroCuts+EffiCuts':>20}")
+    print(f"{'bytes per rule':<22}{theirs.bytes_per_rule:>12.1f} "
+          f"{ours.bytes_per_rule:>20.1f}")
+    print(f"{'classification time':<22}{theirs.classification_time:>12d} "
+          f"{ours.classification_time:>20d}")
+    print(f"\nspace improvement (1 - ours/theirs): {space_gain:+.1%}")
+    print(f"time improvement  (1 - ours/theirs): {time_gain:+.1%}")
+    print("\nPaper's Figure 10: a 29% median space improvement with roughly "
+          "unchanged classification time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Generate a full evaluation report (all figures) at a chosen scale.
+
+Usage::
+
+    python examples/suite_report.py [tiny|small|paper] [output.md]
+
+Runs every figure experiment of the paper's evaluation section through the
+same harness the benchmarks use and writes a single markdown report with the
+tables, so a reproduction run leaves a durable record.  At the default
+``tiny`` scale this takes a few minutes on one CPU core.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.harness import (
+    comparison_table,
+    get_scale,
+    run_figure5,
+    run_figure6,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    series_table,
+    summary_table,
+    table1_rows,
+    format_table,
+)
+from repro.neurocuts import render_profile
+
+
+def main() -> None:
+    scale_name = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    output_path = Path(sys.argv[2]) if len(sys.argv) > 2 else Path(
+        f"suite_report_{scale_name}.md"
+    )
+    scale = get_scale(scale_name)
+    sections = [f"# NeuroCuts reproduction report — scale `{scale.name}`\n"]
+
+    print("Running Figure 8 (classification time) ...")
+    fig8 = run_figure8(scale)
+    sections.append("## Figure 8 — classification time\n")
+    sections.append("```\n" + comparison_table(fig8.values, fig8.metric) + "\n```\n")
+    sections.append("```\n" + summary_table({
+        "NeuroCuts vs min(baselines)": fig8.neurocuts_vs_best_baseline.as_dict()
+    }) + "\n```\n")
+
+    print("Running Figure 9 (memory footprint) ...")
+    fig9 = run_figure9(scale)
+    sections.append("## Figure 9 — memory footprint (bytes per rule)\n")
+    sections.append("```\n" + comparison_table(fig9.values, fig9.metric) + "\n```\n")
+
+    print("Running Figure 10 (EffiCuts partitioner) ...")
+    fig10 = run_figure10(scale)
+    sections.append("## Figure 10 — NeuroCuts + EffiCuts partitioner vs EffiCuts\n")
+    sections.append("```\n" + summary_table({
+        "space improvement": fig10.space_improvement.as_dict(),
+        "time improvement": fig10.time_improvement.as_dict(),
+    }) + "\n```\n")
+
+    print("Running Figure 11 (time-space sweep) ...")
+    fig11 = run_figure11(scale)
+    sections.append("## Figure 11 — time-space coefficient sweep\n")
+    sections.append("```\n" + series_table(fig11.series()) + "\n```\n")
+
+    print("Running Figure 5 (learning progress) ...")
+    fig5 = run_figure5(scale)
+    sections.append("## Figure 5 — learning progress on fw5\n")
+    sections.append(
+        f"Best depth over training: {fig5.best_depth_over_time}\n\n"
+        f"Final NeuroCuts depth {fig5.final_best_depth} vs HiCuts "
+        f"{fig5.hicuts_depth}\n"
+    )
+    sections.append("```\n" + render_profile(fig5.snapshots[-1]) + "\n```\n")
+
+    print("Running Figure 6 (tree variations) ...")
+    fig6 = run_figure6(scale)
+    sections.append("## Figure 6 — tree variations from one policy\n")
+    sections.append(
+        "Sampled tree depths: "
+        + ", ".join(str(int(p.depth)) for p in fig6.profiles) + "\n"
+    )
+
+    sections.append("## Table 1 — hyperparameters\n")
+    sections.append("```\n" + format_table(
+        ["hyperparameter", "paper", "ours"],
+        [[n, str(p), str(o)] for n, p, o in table1_rows()],
+    ) + "\n```\n")
+
+    output_path.write_text("\n".join(sections))
+    print(f"\nReport written to {output_path}")
+
+
+if __name__ == "__main__":
+    main()

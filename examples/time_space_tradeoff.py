@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Sweeping the time-space coefficient c (the paper's Figure 11).
+
+NeuroCuts optimises ``-(c * f(time) + (1 - c) * f(space))``.  This example
+trains one policy per value of c on the same classifier and prints how the
+best tree's classification time and bytes-per-rule move as c goes from
+space-optimised (c = 0) to time-optimised (c = 1).
+"""
+
+from __future__ import annotations
+
+from repro.classbench import generate_classifier
+from repro.neurocuts import NeuroCutsConfig, NeuroCutsTrainer
+from repro.tree import validate_classifier
+
+
+def main() -> None:
+    ruleset = generate_classifier("fw3", 200, seed=0)
+    print(f"Classifier {ruleset.name!r} with {len(ruleset)} rules\n")
+    print(f"{'c':>5} {'classification time':>20} {'bytes per rule':>16} "
+          f"{'trees/nodes':>12}")
+
+    for c in (0.0, 0.1, 0.5, 1.0):
+        config = NeuroCutsConfig(
+            time_space_coeff=c,
+            partition_mode="simple",       # as in the paper's Figure 11 runs
+            reward_scaling="log",          # log scaling when mixing objectives
+            hidden_sizes=(64, 64),
+            max_timesteps_total=12_000,
+            timesteps_per_batch=1_000,
+            max_timesteps_per_rollout=600,
+            max_tree_depth=40,
+            num_sgd_iters=10,
+            sgd_minibatch_size=256,
+            learning_rate=1e-3,
+            leaf_threshold=16,
+            seed=0,
+        )
+        trainer = NeuroCutsTrainer(ruleset, config)
+        result = trainer.train()
+        classifier = result.best_classifier()
+        assert validate_classifier(classifier, num_random_packets=150).is_correct
+        stats = classifier.stats()
+        print(f"{c:>5.1f} {stats.classification_time:>20d} "
+              f"{stats.bytes_per_rule:>16.1f} "
+              f"{stats.num_trees:>5d}/{stats.num_nodes:<6d}")
+
+    print("\nExpected shape (paper, Figure 11): classification time improves "
+          "as c -> 1 while bytes per rule improves as c -> 0.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so editable installs work in offline
+environments whose setuptools predates PEP 660 wheel-less editable support
+(``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,3 @@
+"""Package version, single source of truth."""
+
+__version__ = "0.1.0"

@@ -1,0 +1,31 @@
+"""Baseline packet-classification algorithms the paper compares against."""
+
+from repro.baselines.base import BuildResult, TreeBuilder, compare_builders
+from repro.baselines.hicuts import HiCutsBuilder
+from repro.baselines.hypercuts import HyperCutsBuilder
+from repro.baselines.efficuts import EffiCutsBuilder
+from repro.baselines.cutsplit import CutSplitBuilder
+from repro.baselines.linear import LinearSearchBuilder
+from repro.baselines.tuplespace import TupleSpaceClassifier
+
+__all__ = [
+    "BuildResult",
+    "TreeBuilder",
+    "compare_builders",
+    "HiCutsBuilder",
+    "HyperCutsBuilder",
+    "EffiCutsBuilder",
+    "CutSplitBuilder",
+    "LinearSearchBuilder",
+    "TupleSpaceClassifier",
+]
+
+
+def default_baselines(binth: int = 16) -> dict:
+    """The four baselines of Figures 8–9, keyed by their paper names."""
+    return {
+        "HiCuts": HiCutsBuilder(binth=binth),
+        "HyperCuts": HyperCutsBuilder(binth=binth),
+        "EffiCuts": EffiCutsBuilder(binth=binth),
+        "CutSplit": CutSplitBuilder(binth=binth),
+    }

@@ -1,0 +1,59 @@
+"""Common interface for decision-tree builders (baselines and NeuroCuts).
+
+Every algorithm in this repository — the four hand-tuned heuristics the paper
+compares against and NeuroCuts itself — produces a
+:class:`~repro.tree.lookup.TreeClassifier` over the *same* tree engine, so
+classification-time and memory comparisons are apples-to-apples (the paper
+makes the same methodological choice in Section 5).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.rules.ruleset import RuleSet
+from repro.tree.lookup import ClassifierStats, TreeClassifier
+
+
+@dataclass(frozen=True)
+class BuildResult:
+    """A built classifier together with its aggregate statistics."""
+
+    classifier: TreeClassifier
+    stats: ClassifierStats
+    algorithm: str
+
+    @property
+    def classification_time(self) -> int:
+        return self.stats.classification_time
+
+    @property
+    def bytes_per_rule(self) -> float:
+        return self.stats.bytes_per_rule
+
+
+class TreeBuilder(abc.ABC):
+    """Base class for anything that turns a classifier into decision trees."""
+
+    #: Human-readable algorithm name, e.g. ``"HiCuts"``.
+    name: str = "builder"
+
+    @abc.abstractmethod
+    def build(self, ruleset: RuleSet) -> TreeClassifier:
+        """Build the decision tree(s) for a classifier."""
+
+    def build_with_stats(self, ruleset: RuleSet) -> BuildResult:
+        """Build and bundle the result with its statistics."""
+        classifier = self.build(ruleset)
+        return BuildResult(
+            classifier=classifier, stats=classifier.stats(), algorithm=self.name
+        )
+
+
+def compare_builders(ruleset: RuleSet,
+                     builders: Dict[str, TreeBuilder]) -> Dict[str, BuildResult]:
+    """Build one classifier with several algorithms and collect the results."""
+    return {name: builder.build_with_stats(ruleset)
+            for name, builder in builders.items()}

@@ -1,0 +1,25 @@
+"""Linear-search "builder": the trivial single-leaf classifier.
+
+A classifier whose only node is a leaf containing every rule corresponds to
+linear search.  It is the correctness ground truth and the degenerate corner
+of the time/space trade-off (minimum memory, maximum classification time),
+so benchmarks include it to anchor the comparison.
+"""
+
+from __future__ import annotations
+
+from repro.rules.ruleset import RuleSet
+from repro.tree.lookup import TreeClassifier
+from repro.tree.tree import DecisionTree
+from repro.baselines.base import TreeBuilder
+
+
+class LinearSearchBuilder(TreeBuilder):
+    """Builds the single-leaf tree that models a linear rule scan."""
+
+    name = "LinearSearch"
+
+    def build(self, ruleset: RuleSet) -> TreeClassifier:
+        tree = DecisionTree(ruleset, leaf_threshold=max(1, len(ruleset)))
+        # The root already satisfies the leaf threshold, so it stays a leaf.
+        return TreeClassifier(ruleset, [tree], name=f"{self.name}:{ruleset.name}")

@@ -1,0 +1,155 @@
+"""Tuple Space Search (Srinivasan et al., SIGCOMM 1999).
+
+TSS is the non-tree baseline the related-work section mentions: rules are
+grouped by their *tuple* — the vector of prefix/range specificities — and
+each group is stored in a hash table keyed by the masked header fields.
+Classification probes every tuple's table and keeps the best-priority hit.
+
+It is included as an extra comparator (it is what Open vSwitch uses), and to
+exercise the rule model from a direction the tree algorithms do not.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.rules.fields import DIMENSIONS, Dimension
+from repro.rules.packet import Packet
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+
+#: Port ranges are quantised to these classes to make them hashable tuples.
+_PORT_CLASSES: Tuple[Tuple[int, int], ...] = (
+    (0, 65536),       # wildcard
+    (0, 1024),        # well-known
+    (1024, 65536),    # ephemeral
+)
+
+
+def _prefix_length(rule: Rule, dim: Dimension) -> Optional[int]:
+    """Prefix length of the rule's range in ``dim`` or None if not a prefix."""
+    lo, hi = rule.range_for(dim)
+    span = hi - lo
+    if span & (span - 1):
+        return None
+    if lo % span:
+        return None
+    return dim.bits - (span.bit_length() - 1)
+
+
+def _port_class(rule: Rule, dim: Dimension) -> Tuple[int, int]:
+    rng = rule.range_for(dim)
+    for cls in _PORT_CLASSES:
+        if rng == cls:
+            return cls
+    return rng  # exact or arbitrary range: its own class
+
+
+@dataclass(frozen=True)
+class TupleKey:
+    """The specificity vector defining one tuple-space table."""
+
+    src_prefix: Optional[int]
+    dst_prefix: Optional[int]
+    src_port_class: Tuple[int, int]
+    dst_port_class: Tuple[int, int]
+    proto_exact: bool
+
+
+class TupleSpaceClassifier:
+    """A classifier backed by one hash table per tuple."""
+
+    def __init__(self, ruleset: RuleSet) -> None:
+        self.ruleset = ruleset
+        self._tables: Dict[TupleKey, Dict[Tuple, List[Rule]]] = defaultdict(dict)
+        self._fallback: List[Rule] = []
+        for rule in ruleset:
+            key = self._tuple_key(rule)
+            if key is None:
+                self._fallback.append(rule)
+                continue
+            hash_key = self._hash_key_for_rule(rule, key)
+            bucket = self._tables[key].setdefault(hash_key, [])
+            bucket.append(rule)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    def _tuple_key(self, rule: Rule) -> Optional[TupleKey]:
+        src_len = _prefix_length(rule, Dimension.SRC_IP)
+        dst_len = _prefix_length(rule, Dimension.DST_IP)
+        if src_len is None or dst_len is None:
+            return None
+        proto_lo, proto_hi = rule.range_for(Dimension.PROTOCOL)
+        sp_class = _port_class(rule, Dimension.SRC_PORT)
+        dp_class = _port_class(rule, Dimension.DST_PORT)
+        if sp_class not in _PORT_CLASSES and sp_class[1] - sp_class[0] != 1:
+            return None
+        if dp_class not in _PORT_CLASSES and dp_class[1] - dp_class[0] != 1:
+            return None
+        return TupleKey(
+            src_prefix=src_len,
+            dst_prefix=dst_len,
+            src_port_class=sp_class if sp_class in _PORT_CLASSES else (-1, -1),
+            dst_port_class=dp_class if dp_class in _PORT_CLASSES else (-1, -1),
+            proto_exact=(proto_hi - proto_lo == 1),
+        )
+
+    def _hash_key_for_rule(self, rule: Rule, key: TupleKey) -> Tuple:
+        parts = []
+        parts.append(rule.range_for(Dimension.SRC_IP)[0])
+        parts.append(rule.range_for(Dimension.DST_IP)[0])
+        parts.append(
+            rule.range_for(Dimension.SRC_PORT)[0]
+            if key.src_port_class == (-1, -1) else key.src_port_class
+        )
+        parts.append(
+            rule.range_for(Dimension.DST_PORT)[0]
+            if key.dst_port_class == (-1, -1) else key.dst_port_class
+        )
+        parts.append(
+            rule.range_for(Dimension.PROTOCOL)[0] if key.proto_exact else "*"
+        )
+        return tuple(parts)
+
+    def _hash_key_for_packet(self, packet: Packet, key: TupleKey) -> Tuple:
+        parts = []
+        src_mask_span = 1 << (32 - key.src_prefix)
+        dst_mask_span = 1 << (32 - key.dst_prefix)
+        parts.append((packet.src_ip // src_mask_span) * src_mask_span)
+        parts.append((packet.dst_ip // dst_mask_span) * dst_mask_span)
+        parts.append(
+            packet.src_port if key.src_port_class == (-1, -1) else key.src_port_class
+        )
+        parts.append(
+            packet.dst_port if key.dst_port_class == (-1, -1) else key.dst_port_class
+        )
+        parts.append(packet.protocol if key.proto_exact else "*")
+        return tuple(parts)
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_tuples(self) -> int:
+        """Number of distinct tuples (tables probed per lookup)."""
+        return len(self._tables)
+
+    def classify(self, packet: Packet) -> Optional[Rule]:
+        """Probe every tuple table plus the fallback list; best priority wins."""
+        best: Optional[Rule] = None
+        for key, table in self._tables.items():
+            bucket = table.get(self._hash_key_for_packet(packet, key))
+            if not bucket:
+                continue
+            for rule in bucket:
+                if rule.matches(packet) and (best is None or rule.priority > best.priority):
+                    best = rule
+        for rule in self._fallback:
+            if rule.matches(packet) and (best is None or rule.priority > best.priority):
+                best = rule
+        return best

@@ -1,0 +1,46 @@
+"""ClassBench-style synthetic workload generation."""
+
+from repro.classbench.generator import ClassBenchGenerator, generate_classifier
+from repro.classbench.seeds import (
+    FAMILIES,
+    SEEDS,
+    PortDistribution,
+    PrefixDistribution,
+    SeedParameters,
+    get_seed,
+    seed_names,
+)
+from repro.classbench.suite import (
+    DEFAULT_SCALE_SIZES,
+    PAPER_SCALE_SIZES,
+    PAPER_SCALES,
+    ClassifierSpec,
+    family_of,
+    iter_suite,
+    materialize_suite,
+    suite_specs,
+)
+from repro.classbench.traces import TraceConfig, TraceGenerator, generate_trace
+
+__all__ = [
+    "ClassBenchGenerator",
+    "generate_classifier",
+    "FAMILIES",
+    "SEEDS",
+    "PortDistribution",
+    "PrefixDistribution",
+    "SeedParameters",
+    "get_seed",
+    "seed_names",
+    "DEFAULT_SCALE_SIZES",
+    "PAPER_SCALE_SIZES",
+    "PAPER_SCALES",
+    "ClassifierSpec",
+    "family_of",
+    "iter_suite",
+    "materialize_suite",
+    "suite_specs",
+    "TraceConfig",
+    "TraceGenerator",
+    "generate_trace",
+]

@@ -1,0 +1,142 @@
+"""Synthetic ClassBench-style rule generation.
+
+Given a :class:`~repro.classbench.seeds.SeedParameters` family and a target
+rule count, the generator produces a classifier whose structural statistics
+(prefix lengths, port classes, protocol mix, wildcard density, address
+locality) follow the family's parameters.  The output is deterministic for a
+given ``(seed_name, size, seed)`` triple so experiments are repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Optional, Sequence, Tuple
+
+from repro.rules.fields import Dimension, FIELD_RANGES, Range, prefix_to_range
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+from repro.classbench.seeds import (
+    PROTO_WILDCARD,
+    PortDistribution,
+    PrefixDistribution,
+    SeedParameters,
+    get_seed,
+)
+
+#: Popular service ports used for the "exact" port class.
+_COMMON_PORTS = (
+    20, 21, 22, 23, 25, 53, 67, 68, 80, 110, 123, 137, 138, 139, 143,
+    161, 179, 389, 443, 445, 465, 514, 587, 636, 993, 995, 1433, 1521,
+    1723, 3306, 3389, 5060, 5432, 6379, 8080, 8443, 9090, 27017,
+)
+
+_PORT_FULL: Range = (0, 65536)
+_PORT_EPHEMERAL: Range = (1024, 65536)
+_PORT_WELL_KNOWN: Range = (0, 1024)
+
+
+class ClassBenchGenerator:
+    """Generates synthetic classifiers that mimic a ClassBench seed family."""
+
+    def __init__(self, seed_params: SeedParameters, seed: int = 0) -> None:
+        self.params = seed_params
+        # zlib.crc32 is stable across processes (unlike hash(), which is
+        # salted), so the same (family, seed) pair always yields the same
+        # classifier — a requirement for reproducible experiments.
+        family_digest = zlib.crc32(seed_params.name.encode()) & 0xFFFF
+        self._rng = random.Random(family_digest * 10_007 + seed)
+        # Pre-draw the family's subnet "anchors": the address-space localities
+        # rules cluster around, which is what gives ClassBench rule sets their
+        # characteristic overlap structure.
+        self._src_subnets = self._draw_subnets(seed_params.src_prefix)
+        self._dst_subnets = self._draw_subnets(seed_params.dst_prefix)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def generate(self, num_rules: int, name: Optional[str] = None) -> RuleSet:
+        """Generate a classifier with ``num_rules`` rules (plus default rule)."""
+        if num_rules < 1:
+            raise ValueError("num_rules must be >= 1")
+        rules: List[Rule] = []
+        seen: set[Tuple[Range, ...]] = set()
+        attempts = 0
+        max_attempts = num_rules * 50
+        while len(rules) < num_rules - 1 and attempts < max_attempts:
+            attempts += 1
+            rule = self._draw_rule()
+            if rule.ranges in seen:
+                continue
+            seen.add(rule.ranges)
+            rules.append(rule)
+        # Always terminate with a default rule so every packet matches.
+        rules.append(Rule.wildcard())
+        label = name or f"{self.params.name}_{num_rules}"
+        return RuleSet(rules, name=label, reassign_priorities=True)
+
+    # ------------------------------------------------------------------ #
+    # Internal draws
+    # ------------------------------------------------------------------ #
+
+    def _draw_subnets(self, dist: PrefixDistribution) -> List[int]:
+        """Draw the base /8 network anchors the family's rules cluster in."""
+        count = max(1, dist.num_subnets)
+        return [self._rng.randrange(0, 256) << 24 for _ in range(count)]
+
+    def _draw_rule(self) -> Rule:
+        src_ip = self._draw_prefix(self.params.src_prefix, self._src_subnets)
+        dst_ip = self._draw_prefix(self.params.dst_prefix, self._dst_subnets)
+        src_port = self._draw_port(self.params.src_port)
+        dst_port = self._draw_port(self.params.dst_port)
+        protocol = self._draw_protocol()
+        return Rule(ranges=(src_ip, dst_ip, src_port, dst_port, protocol))
+
+    def _draw_prefix(self, dist: PrefixDistribution, subnets: Sequence[int]) -> Range:
+        length = self._rng.choices(dist.lengths(), weights=dist.weights())[0]
+        if length == 0:
+            return FIELD_RANGES[Dimension.SRC_IP]
+        base = self._rng.choice(subnets)
+        # Fill the host bits below the /8 anchor randomly, then mask to length.
+        host = self._rng.getrandbits(24)
+        address = base | host
+        return prefix_to_range(address, length, bits=32)
+
+    def _draw_port(self, dist: PortDistribution) -> Range:
+        choice = self._rng.choices(range(5), weights=dist.weights())[0]
+        if choice == 0:
+            return _PORT_FULL
+        if choice == 1:
+            return _PORT_EPHEMERAL
+        if choice == 2:
+            return _PORT_WELL_KNOWN
+        if choice == 3:
+            port = self._rng.choice(_COMMON_PORTS)
+            return (port, port + 1)
+        lo = self._rng.randrange(0, 65000)
+        span = self._rng.choice((2, 4, 8, 16, 64, 256, 1024))
+        hi = min(65536, lo + span)
+        return (lo, hi)
+
+    def _draw_protocol(self) -> Range:
+        weights = self.params.protocol_weights
+        values = list(weights)
+        proto = self._rng.choices(values, weights=[weights[v] for v in values])[0]
+        if proto == PROTO_WILDCARD:
+            return FIELD_RANGES[Dimension.PROTOCOL]
+        return (proto, proto + 1)
+
+
+def generate_classifier(seed_name: str, num_rules: int, seed: int = 0,
+                        name: Optional[str] = None) -> RuleSet:
+    """Convenience wrapper: generate one classifier from a named seed family.
+
+    Args:
+        seed_name: ClassBench seed family, e.g. ``"acl1"`` or ``"fw5"``.
+        num_rules: target number of rules (including the default rule).
+        seed: RNG seed; the same triple always yields the same classifier.
+        name: optional override of the classifier name.
+    """
+    generator = ClassBenchGenerator(get_seed(seed_name), seed=seed)
+    return generator.generate(num_rules, name=name)

@@ -1,0 +1,211 @@
+"""Seed parameter families for the ClassBench-style generator.
+
+The real ClassBench tool ships twelve seed files derived from production
+classifiers: five access-control lists (``acl1``–``acl5``), five firewalls
+(``fw1``–``fw5``) and two IP-chain sets (``ipc1``–``ipc2``).  The seeds we
+cannot redistribute, so this module encodes the *structural* characteristics
+the literature reports for each family — prefix-length distributions, port
+range classes, protocol mix and wildcard density — as parameter objects the
+synthetic generator consumes.
+
+What matters for reproducing NeuroCuts is that the three families stress
+decision-tree builders differently:
+
+* **acl** rules are mostly exact or long-prefix IP pairs with specific
+  destination ports — they cut cleanly and produce shallow trees.
+* **fw** rules contain many wildcarded source fields and large port ranges —
+  they replicate heavily under naive cutting (the hard case in Figure 5).
+* **ipc** rules sit in between, with moderate wildcarding on both IPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PortDistribution:
+    """Distribution over port-range classes for one port dimension.
+
+    Each weight selects one of the standard ClassBench port classes:
+
+    * ``wildcard`` — the full range [0, 65536).
+    * ``ephemeral`` — the high range [1024, 65536).
+    * ``well_known`` — the low range [0, 1024).
+    * ``exact`` — a single port drawn from a small set of popular services.
+    * ``arbitrary`` — a random contiguous range.
+    """
+
+    wildcard: float
+    ephemeral: float
+    well_known: float
+    exact: float
+    arbitrary: float
+
+    def weights(self) -> List[float]:
+        """Return the class weights in canonical order."""
+        return [self.wildcard, self.ephemeral, self.well_known,
+                self.exact, self.arbitrary]
+
+
+@dataclass(frozen=True)
+class PrefixDistribution:
+    """Distribution over prefix lengths for one IP dimension.
+
+    ``length_weights`` maps prefix length -> relative weight.  A weight on
+    length 0 produces wildcard addresses.  Nesting depth controls how many
+    distinct subtrees of the address space the family concentrates rules in,
+    which controls rule overlap.
+    """
+
+    length_weights: Dict[int, float]
+    num_subnets: int = 16
+
+    def lengths(self) -> List[int]:
+        return sorted(self.length_weights)
+
+    def weights(self) -> List[float]:
+        return [self.length_weights[k] for k in self.lengths()]
+
+
+@dataclass(frozen=True)
+class SeedParameters:
+    """All generation parameters for one ClassBench seed family."""
+
+    name: str
+    family: str
+    src_prefix: PrefixDistribution
+    dst_prefix: PrefixDistribution
+    src_port: PortDistribution
+    dst_port: PortDistribution
+    #: Weight of each protocol value; 256 means "wildcard protocol".
+    protocol_weights: Dict[int, float] = field(default_factory=dict)
+    #: Fraction of rules duplicated with only priority differences removed.
+    redundancy: float = 0.0
+
+    def describe(self) -> str:
+        """One-line human readable description."""
+        return f"{self.name} ({self.family} family)"
+
+
+#: Sentinel protocol key meaning "any protocol".
+PROTO_WILDCARD = 256
+
+_TCP, _UDP, _ICMP = 6, 17, 1
+
+
+def _acl_seed(name: str, subnets: int, dst_exact_bias: float) -> SeedParameters:
+    """ACL-style: long prefixes, specific destination ports, little wildcard."""
+    return SeedParameters(
+        name=name,
+        family="acl",
+        src_prefix=PrefixDistribution(
+            {0: 0.08, 8: 0.05, 16: 0.17, 24: 0.40, 32: 0.30},
+            num_subnets=subnets,
+        ),
+        dst_prefix=PrefixDistribution(
+            {0: 0.02, 16: 0.13, 24: 0.45, 28: 0.15, 32: 0.25},
+            num_subnets=subnets,
+        ),
+        src_port=PortDistribution(
+            wildcard=0.85, ephemeral=0.07, well_known=0.03,
+            exact=0.03, arbitrary=0.02,
+        ),
+        dst_port=PortDistribution(
+            wildcard=0.15, ephemeral=0.05, well_known=0.10,
+            exact=dst_exact_bias, arbitrary=1.0 - 0.30 - dst_exact_bias,
+        ),
+        protocol_weights={_TCP: 0.62, _UDP: 0.25, _ICMP: 0.05, PROTO_WILDCARD: 0.08},
+    )
+
+
+def _fw_seed(name: str, wildcard_bias: float, subnets: int) -> SeedParameters:
+    """Firewall-style: heavy source wildcarding and broad port ranges."""
+    return SeedParameters(
+        name=name,
+        family="fw",
+        src_prefix=PrefixDistribution(
+            {0: wildcard_bias, 8: 0.10, 16: 0.18,
+             24: max(0.0, 0.50 - wildcard_bias), 32: 0.22},
+            num_subnets=subnets,
+        ),
+        dst_prefix=PrefixDistribution(
+            {0: wildcard_bias / 2, 8: 0.08, 16: 0.22, 24: 0.35,
+             32: max(0.0, 0.35 - wildcard_bias / 2)},
+            num_subnets=subnets,
+        ),
+        src_port=PortDistribution(
+            wildcard=0.70, ephemeral=0.18, well_known=0.04,
+            exact=0.04, arbitrary=0.04,
+        ),
+        dst_port=PortDistribution(
+            wildcard=0.35, ephemeral=0.15, well_known=0.12,
+            exact=0.28, arbitrary=0.10,
+        ),
+        protocol_weights={_TCP: 0.50, _UDP: 0.28, _ICMP: 0.07, PROTO_WILDCARD: 0.15},
+    )
+
+
+def _ipc_seed(name: str, subnets: int) -> SeedParameters:
+    """IP-chain style: moderate wildcarding on both address dimensions."""
+    return SeedParameters(
+        name=name,
+        family="ipc",
+        src_prefix=PrefixDistribution(
+            {0: 0.15, 8: 0.08, 16: 0.25, 24: 0.32, 32: 0.20},
+            num_subnets=subnets,
+        ),
+        dst_prefix=PrefixDistribution(
+            {0: 0.10, 8: 0.07, 16: 0.28, 24: 0.35, 32: 0.20},
+            num_subnets=subnets,
+        ),
+        src_port=PortDistribution(
+            wildcard=0.78, ephemeral=0.10, well_known=0.04,
+            exact=0.05, arbitrary=0.03,
+        ),
+        dst_port=PortDistribution(
+            wildcard=0.30, ephemeral=0.12, well_known=0.13,
+            exact=0.35, arbitrary=0.10,
+        ),
+        protocol_weights={_TCP: 0.55, _UDP: 0.27, _ICMP: 0.06, PROTO_WILDCARD: 0.12},
+    )
+
+
+#: The twelve ClassBench seed families used by the paper's 36-classifier suite.
+SEEDS: Dict[str, SeedParameters] = {
+    "acl1": _acl_seed("acl1", subnets=24, dst_exact_bias=0.55),
+    "acl2": _acl_seed("acl2", subnets=16, dst_exact_bias=0.45),
+    "acl3": _acl_seed("acl3", subnets=32, dst_exact_bias=0.50),
+    "acl4": _acl_seed("acl4", subnets=20, dst_exact_bias=0.40),
+    "acl5": _acl_seed("acl5", subnets=12, dst_exact_bias=0.60),
+    "fw1": _fw_seed("fw1", wildcard_bias=0.30, subnets=12),
+    "fw2": _fw_seed("fw2", wildcard_bias=0.25, subnets=16),
+    "fw3": _fw_seed("fw3", wildcard_bias=0.35, subnets=10),
+    "fw4": _fw_seed("fw4", wildcard_bias=0.40, subnets=8),
+    "fw5": _fw_seed("fw5", wildcard_bias=0.45, subnets=8),
+    "ipc1": _ipc_seed("ipc1", subnets=20),
+    "ipc2": _ipc_seed("ipc2", subnets=14),
+}
+
+#: Seed names grouped by family.
+FAMILIES: Dict[str, Tuple[str, ...]] = {
+    "acl": ("acl1", "acl2", "acl3", "acl4", "acl5"),
+    "fw": ("fw1", "fw2", "fw3", "fw4", "fw5"),
+    "ipc": ("ipc1", "ipc2"),
+}
+
+
+def get_seed(name: str) -> SeedParameters:
+    """Look up a seed family by name (e.g. ``"acl1"``)."""
+    try:
+        return SEEDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown ClassBench seed {name!r}; available: {sorted(SEEDS)}"
+        ) from None
+
+
+def seed_names() -> Sequence[str]:
+    """All seed names in canonical (paper Figure 8) order."""
+    return tuple(SEEDS)

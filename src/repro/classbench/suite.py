@@ -1,0 +1,101 @@
+"""The 36-classifier ClassBench suite used in the paper's evaluation.
+
+Figures 8 and 9 evaluate over 36 classifiers: the 12 seed families (acl1–5,
+fw1–5, ipc1–2) at three sizes (1k, 10k, 100k rules).  This module names and
+materialises that suite.  Because this reproduction runs on CPU-scale
+budgets, the suite can be generated at its paper sizes or at scaled-down
+sizes (the default for tests and benchmarks) while keeping the same 36
+(family, scale) labels so figure scripts produce the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.classbench.generator import generate_classifier
+from repro.classbench.seeds import FAMILIES, seed_names
+from repro.rules.ruleset import RuleSet
+
+#: The three scales used by the paper, in rules.
+PAPER_SCALES: Tuple[str, ...] = ("1k", "10k", "100k")
+
+#: Number of rules each scale label maps to at full paper size.
+PAPER_SCALE_SIZES: Dict[str, int] = {"1k": 1000, "10k": 10_000, "100k": 100_000}
+
+#: Scaled-down sizes used by default in CI-scale benchmarks.
+DEFAULT_SCALE_SIZES: Dict[str, int] = {"1k": 100, "10k": 300, "100k": 600}
+
+
+@dataclass(frozen=True)
+class ClassifierSpec:
+    """One entry of the 36-classifier suite."""
+
+    seed_name: str
+    scale: str
+    num_rules: int
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        """Label matching the paper's x-axis, e.g. ``"acl1_1k"``."""
+        return f"{self.seed_name}_{self.scale}"
+
+    def materialize(self) -> RuleSet:
+        """Generate the classifier for this spec."""
+        return generate_classifier(
+            self.seed_name, self.num_rules, seed=self.seed, name=self.label
+        )
+
+
+def suite_specs(scale_sizes: Optional[Dict[str, int]] = None,
+                scales: Optional[Tuple[str, ...]] = None,
+                families: Optional[Tuple[str, ...]] = None,
+                seed: int = 0) -> List[ClassifierSpec]:
+    """Enumerate the suite's classifier specs.
+
+    Args:
+        scale_sizes: mapping scale label -> rule count.  Defaults to the
+            scaled-down sizes; pass :data:`PAPER_SCALE_SIZES` for full size.
+        scales: which scale labels to include (default: all three).
+        families: which seed families to include (default: all twelve).
+        seed: base RNG seed.
+    """
+    scale_sizes = scale_sizes or DEFAULT_SCALE_SIZES
+    scales = scales or PAPER_SCALES
+    families = families or tuple(seed_names())
+    specs = []
+    for scale in scales:
+        for family in families:
+            specs.append(
+                ClassifierSpec(
+                    seed_name=family,
+                    scale=scale,
+                    num_rules=scale_sizes[scale],
+                    seed=seed,
+                )
+            )
+    return specs
+
+
+def materialize_suite(specs: Optional[List[ClassifierSpec]] = None
+                      ) -> Dict[str, RuleSet]:
+    """Generate every classifier in the suite, keyed by its label."""
+    specs = specs if specs is not None else suite_specs()
+    return {spec.label: spec.materialize() for spec in specs}
+
+
+def iter_suite(specs: Optional[List[ClassifierSpec]] = None
+               ) -> Iterator[Tuple[str, RuleSet]]:
+    """Lazily yield (label, classifier) pairs for the suite."""
+    specs = specs if specs is not None else suite_specs()
+    for spec in specs:
+        yield spec.label, spec.materialize()
+
+
+def family_of(label: str) -> str:
+    """Return the family ("acl", "fw", "ipc") for a suite label."""
+    for family, members in FAMILIES.items():
+        if any(label.startswith(member) for member in members):
+            return family
+    raise KeyError(f"unknown suite label: {label!r}")

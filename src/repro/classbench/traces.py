@@ -1,0 +1,85 @@
+"""Packet trace generation (the ClassBench ``trace_generator`` analogue).
+
+ClassBench ships a trace generator that produces packet headers biased toward
+the rules in a filter set, controlled by a Pareto locality parameter.  The
+same idea is reproduced here: traces mix rule-targeted headers (drawn from a
+skewed distribution over rules, so some rules are "hot") with uniformly
+random headers that typically fall through to the default rule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.rules.fields import DIMENSIONS, FIELD_RANGES
+from repro.rules.packet import Packet
+from repro.rules.ruleset import RuleSet
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Configuration for synthetic packet traces.
+
+    Attributes:
+        num_packets: how many headers to generate.
+        rule_bias: probability that a header is drawn from some rule's
+            hypercube rather than uniformly from the whole space.
+        pareto_shape: skew of the rule-popularity distribution; larger values
+            concentrate traffic on fewer rules (ClassBench's locality knob).
+        seed: RNG seed for reproducibility.
+    """
+
+    num_packets: int = 1000
+    rule_bias: float = 0.9
+    pareto_shape: float = 1.2
+    seed: Optional[int] = 0
+
+
+class TraceGenerator:
+    """Generates packet traces targeted at a specific classifier."""
+
+    def __init__(self, ruleset: RuleSet, config: TraceConfig = TraceConfig()) -> None:
+        self.ruleset = ruleset
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._np_rng = np.random.default_rng(config.seed)
+        self._rule_weights = self._compute_rule_weights()
+
+    def _compute_rule_weights(self) -> np.ndarray:
+        """Pareto-skewed popularity over rules, normalised to sum to 1."""
+        n = len(self.ruleset)
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = ranks ** (-self.config.pareto_shape)
+        order = self._np_rng.permutation(n)
+        weights = weights[order]
+        return weights / weights.sum()
+
+    def generate(self) -> List[Packet]:
+        """Generate the configured number of packet headers."""
+        packets: List[Packet] = []
+        rules = self.ruleset.rules
+        indices = self._np_rng.choice(
+            len(rules), size=self.config.num_packets, p=self._rule_weights
+        )
+        for i in range(self.config.num_packets):
+            if self._rng.random() < self.config.rule_bias:
+                rule = rules[int(indices[i])]
+                values = tuple(self._rng.randrange(lo, hi) for lo, hi in rule.ranges)
+            else:
+                values = tuple(
+                    self._rng.randrange(lo, hi)
+                    for lo, hi in (FIELD_RANGES[d] for d in DIMENSIONS)
+                )
+            packets.append(Packet.from_values(values))
+        return packets
+
+
+def generate_trace(ruleset: RuleSet, num_packets: int = 1000,
+                   seed: Optional[int] = 0, rule_bias: float = 0.9) -> List[Packet]:
+    """Convenience wrapper to generate a trace for a classifier."""
+    config = TraceConfig(num_packets=num_packets, seed=seed, rule_bias=rule_bias)
+    return TraceGenerator(ruleset, config).generate()

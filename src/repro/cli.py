@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+Four subcommands cover the library's day-to-day workflows without writing
+Python:
+
+* ``repro generate`` — emit a ClassBench-style filter file for a seed family.
+* ``repro compare``  — build a rule file with every baseline (and optionally
+  NeuroCuts) and print the time/space comparison.
+* ``repro train``    — train NeuroCuts on a rule file and save the best tree
+  as JSON.
+* ``repro classify`` — classify packets from a trace against a saved tree.
+
+Run ``python -m repro.cli --help`` (or the installed ``repro`` script) for
+details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.baselines import default_baselines
+from repro.classbench import generate_classifier, generate_trace, seed_names
+from repro.neurocuts import NeuroCutsConfig, NeuroCutsTrainer
+from repro.rules import io as rules_io
+from repro.tree import load_tree, save_tree, validate_classifier
+from repro.harness import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NeuroCuts packet classification toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    gen = subparsers.add_parser(
+        "generate", help="generate a ClassBench-style rule file"
+    )
+    gen.add_argument("--seed-family", choices=sorted(seed_names()),
+                     default="acl1", help="ClassBench seed family")
+    gen.add_argument("--num-rules", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", type=Path, required=True,
+                     help="path of the filter file to write")
+
+    compare = subparsers.add_parser(
+        "compare", help="compare baseline algorithms on a rule file"
+    )
+    compare.add_argument("rules", type=Path, help="ClassBench filter file")
+    compare.add_argument("--binth", type=int, default=16,
+                         help="rules per terminal leaf")
+    compare.add_argument("--with-neurocuts", action="store_true",
+                         help="also train NeuroCuts (slower)")
+    compare.add_argument("--timesteps", type=int, default=12_000,
+                         help="NeuroCuts training budget")
+
+    train = subparsers.add_parser(
+        "train", help="train NeuroCuts on a rule file and save the best tree"
+    )
+    train.add_argument("rules", type=Path, help="ClassBench filter file")
+    train.add_argument("--output", type=Path, required=True,
+                       help="path of the tree JSON to write")
+    train.add_argument("--timesteps", type=int, default=20_000)
+    train.add_argument("--coefficient", type=float, default=1.0,
+                       help="time-space coefficient c in [0, 1]")
+    train.add_argument("--partition-mode", default="none",
+                       choices=("none", "simple", "efficuts"))
+    train.add_argument("--leaf-threshold", type=int, default=16)
+    train.add_argument("--seed", type=int, default=0)
+
+    classify = subparsers.add_parser(
+        "classify", help="classify sampled packets against a saved tree"
+    )
+    classify.add_argument("rules", type=Path, help="ClassBench filter file")
+    classify.add_argument("tree", type=Path, help="tree JSON from `repro train`")
+    classify.add_argument("--num-packets", type=int, default=1000)
+    classify.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    ruleset = generate_classifier(args.seed_family, args.num_rules,
+                                  seed=args.seed)
+    rules_io.dump(ruleset, args.output)
+    print(f"wrote {len(ruleset)} rules ({args.seed_family}) to {args.output}")
+    return 0
+
+
+def _training_config(args: argparse.Namespace) -> NeuroCutsConfig:
+    return NeuroCutsConfig(
+        time_space_coeff=getattr(args, "coefficient", 1.0),
+        partition_mode=getattr(args, "partition_mode", "none"),
+        reward_scaling="log" if getattr(args, "coefficient", 1.0) < 1.0 else "linear",
+        hidden_sizes=(64, 64),
+        max_timesteps_total=args.timesteps,
+        timesteps_per_batch=max(500, args.timesteps // 12),
+        max_timesteps_per_rollout=600,
+        max_tree_depth=60,
+        num_sgd_iters=10,
+        sgd_minibatch_size=256,
+        learning_rate=1e-3,
+        leaf_threshold=getattr(args, "leaf_threshold", 16),
+        seed=getattr(args, "seed", 0),
+    )
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    ruleset = rules_io.load(args.rules)
+    rows: List[List[object]] = []
+    for name, builder in default_baselines(binth=args.binth).items():
+        result = builder.build_with_stats(ruleset)
+        rows.append([name, result.stats.classification_time,
+                     round(result.stats.bytes_per_rule, 1),
+                     result.stats.num_trees, result.stats.num_nodes])
+    if args.with_neurocuts:
+        config = _training_config(args)
+        result = NeuroCutsTrainer(ruleset, config).train()
+        stats = result.best_classifier().stats()
+        rows.append(["NeuroCuts", stats.classification_time,
+                     round(stats.bytes_per_rule, 1),
+                     stats.num_trees, stats.num_nodes])
+    print(format_table(
+        ["algorithm", "classification time", "bytes/rule", "trees", "nodes"], rows
+    ))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    ruleset = rules_io.load(args.rules)
+    config = _training_config(args)
+    trainer = NeuroCutsTrainer(ruleset, config)
+    result = trainer.train()
+    classifier = result.best_classifier()
+    report = validate_classifier(classifier, num_random_packets=300)
+    if not report.is_correct:
+        print("error: learnt tree disagrees with linear search", file=sys.stderr)
+        return 1
+    save_tree(result.best_tree, args.output)
+    stats = classifier.stats()
+    print(json.dumps({
+        "timesteps": result.timesteps_total,
+        "iterations": len(result.history),
+        "classification_time": stats.classification_time,
+        "bytes_per_rule": round(stats.bytes_per_rule, 2),
+        "depth": stats.depth,
+        "nodes": stats.num_nodes,
+        "tree_file": str(args.output),
+    }, indent=2))
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    ruleset = rules_io.load(args.rules)
+    tree = load_tree(args.tree, ruleset)
+    packets = generate_trace(ruleset, num_packets=args.num_packets,
+                             seed=args.seed)
+    matched = 0
+    mismatched = 0
+    for packet in packets:
+        expected = ruleset.classify(packet)
+        actual = tree.classify(packet)
+        if (actual.priority if actual else None) == \
+                (expected.priority if expected else None):
+            matched += 1
+        else:
+            mismatched += 1
+    print(f"classified {len(packets)} packets: "
+          f"{matched} agree with linear search, {mismatched} mismatches")
+    return 0 if mismatched == 0 else 1
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "compare": _cmd_compare,
+    "train": _cmd_train,
+    "classify": _cmd_classify,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

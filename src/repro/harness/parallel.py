@@ -1,0 +1,40 @@
+"""Parallel execution helpers (the Figure 7 scaling story, CPU-process style).
+
+The paper parallelises NeuroCuts by generating decision-tree rollouts from
+the current policy on many workers (Figure 7).  This module provides a small
+process-pool map used by the harness to build independent classifiers (one
+suite entry per process) in parallel; it degrades gracefully to serial
+execution when only one worker is requested or the work items are few.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(func: Callable[[T], R], items: Sequence[T],
+                 num_workers: Optional[int] = None,
+                 chunk_size: int = 1) -> List[R]:
+    """Apply ``func`` to every item, using a process pool when it helps.
+
+    Args:
+        func: a picklable callable (top-level function or functools.partial).
+        items: the work items.
+        num_workers: process count; ``None`` or 1 means serial execution.
+        chunk_size: work items per task submitted to the pool.
+    """
+    items = list(items)
+    if num_workers is None or num_workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    workers = min(num_workers, len(items))
+    with multiprocessing.get_context("spawn").Pool(workers) as pool:
+        return pool.map(func, items, chunksize=max(1, chunk_size))
+
+
+def default_worker_count(cap: int = 8) -> int:
+    """A conservative default worker count for harness parallelism."""
+    return max(1, min(cap, (multiprocessing.cpu_count() or 2) - 1))

@@ -1,0 +1,129 @@
+"""Experiment scales: how big a reproduction run should be.
+
+The paper's evaluation uses 36 ClassBench classifiers of up to 100k rules and
+10M training timesteps per NeuroCuts run.  That is hours of compute; this
+reproduction exposes the experiment *structure* at any scale through an
+:class:`ExperimentScale` object.  Three presets are provided:
+
+* ``tiny``  — seconds per figure; used by the test-suite and CI benchmarks.
+* ``small`` — minutes per figure; meaningful relative comparisons.
+* ``paper`` — the paper's sizes and budgets (expect hours; provided so the
+  full experiment is runnable, not because CI runs it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.classbench.suite import (
+    DEFAULT_SCALE_SIZES,
+    PAPER_SCALE_SIZES,
+    ClassifierSpec,
+    suite_specs,
+)
+from repro.neurocuts.config import NeuroCutsConfig
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size/budget knobs shared by every figure runner."""
+
+    name: str
+    scale_sizes: Dict[str, int]
+    scales: Tuple[str, ...]
+    families: Optional[Tuple[str, ...]]
+    neurocuts_timesteps: int
+    neurocuts_batch: int
+    neurocuts_rollout_limit: int
+    neurocuts_hidden: Tuple[int, int]
+    leaf_threshold: int
+    learning_rate: float = 1e-3
+    num_sgd_iters: int = 10
+    sgd_minibatch_size: int = 256
+    max_tree_depth: int = 40
+    convergence_patience: Optional[int] = 8
+    seed: int = 0
+
+    def specs(self) -> List[ClassifierSpec]:
+        """The classifier specs this scale evaluates over."""
+        return suite_specs(
+            scale_sizes=self.scale_sizes,
+            scales=self.scales,
+            families=self.families,
+            seed=self.seed,
+        )
+
+    def neurocuts_config(self, **overrides) -> NeuroCutsConfig:
+        """A NeuroCuts configuration sized for this scale."""
+        params = dict(
+            hidden_sizes=self.neurocuts_hidden,
+            max_timesteps_total=self.neurocuts_timesteps,
+            timesteps_per_batch=self.neurocuts_batch,
+            max_timesteps_per_rollout=self.neurocuts_rollout_limit,
+            max_tree_depth=self.max_tree_depth,
+            num_sgd_iters=self.num_sgd_iters,
+            sgd_minibatch_size=self.sgd_minibatch_size,
+            learning_rate=self.learning_rate,
+            leaf_threshold=self.leaf_threshold,
+            convergence_patience=self.convergence_patience,
+            seed=self.seed,
+        )
+        params.update(overrides)
+        return NeuroCutsConfig(**params)
+
+
+#: Seconds-per-figure scale used by tests and pytest-benchmark runs.
+TINY = ExperimentScale(
+    name="tiny",
+    scale_sizes={"1k": 80},
+    scales=("1k",),
+    families=("acl1", "fw1", "fw5", "ipc1"),
+    neurocuts_timesteps=20_000,
+    neurocuts_batch=1_000,
+    neurocuts_rollout_limit=400,
+    neurocuts_hidden=(64, 64),
+    leaf_threshold=8,
+)
+
+#: Minutes-per-figure scale; all 12 families at reduced sizes.
+SMALL = ExperimentScale(
+    name="small",
+    scale_sizes=dict(DEFAULT_SCALE_SIZES),
+    scales=("1k", "10k"),
+    families=None,
+    neurocuts_timesteps=40_000,
+    neurocuts_batch=2_000,
+    neurocuts_rollout_limit=2_000,
+    neurocuts_hidden=(128, 128),
+    leaf_threshold=16,
+    max_tree_depth=60,
+)
+
+#: The paper's own sizes and budgets (hours of compute; not run in CI).
+PAPER = ExperimentScale(
+    name="paper",
+    scale_sizes=dict(PAPER_SCALE_SIZES),
+    scales=("1k", "10k", "100k"),
+    families=None,
+    neurocuts_timesteps=10_000_000,
+    neurocuts_batch=60_000,
+    neurocuts_rollout_limit=15_000,
+    neurocuts_hidden=(512, 512),
+    leaf_threshold=16,
+    learning_rate=5e-5,
+    num_sgd_iters=30,
+    sgd_minibatch_size=1000,
+    max_tree_depth=100,
+    convergence_patience=None,
+)
+
+SCALES: Dict[str, ExperimentScale] = {"tiny": TINY, "small": SMALL, "paper": PAPER}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up a preset scale by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(f"unknown scale {name!r}; available: {sorted(SCALES)}") from None

@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks and examples print these tables so a reproduction run leaves a
+readable record (EXPERIMENTS.md is generated from the same renderers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 float_precision: int = 2) -> str:
+    """Render a list of rows as an aligned monospace table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_precision}f}"
+        return str(value)
+
+    rendered = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def comparison_table(values: Mapping[str, Mapping[str, float]],
+                     metric: str) -> str:
+    """Figure 8/9-style table: one row per classifier, one column per algorithm."""
+    algorithms = list(values)
+    labels = sorted(next(iter(values.values())).keys())
+    rows: List[List[object]] = []
+    for label in labels:
+        rows.append([label] + [values[alg][label] for alg in algorithms])
+    return format_table(["classifier"] + algorithms, rows) + f"\n(metric: {metric})"
+
+
+def summary_table(summaries: Mapping[str, Mapping[str, float]]) -> str:
+    """Table of aggregate statistics, one row per named summary."""
+    headers = ["comparison", "median", "mean", "best", "worst", "win_fraction"]
+    rows = []
+    for name, stats in summaries.items():
+        rows.append([
+            name,
+            stats.get("median", float("nan")),
+            stats.get("mean", float("nan")),
+            stats.get("best", float("nan")),
+            stats.get("worst", float("nan")),
+            stats.get("win_fraction", float("nan")),
+        ])
+    return format_table(headers, rows)
+
+
+def series_table(series: Mapping[str, Sequence[float]]) -> str:
+    """Figure 11-style table: aligned columns of per-point series."""
+    headers = list(series)
+    length = len(next(iter(series.values()))) if series else 0
+    rows = [[series[h][i] for h in headers] for i in range(length)]
+    return format_table(headers, rows)
+
+
+def paper_vs_measured_table(rows: Sequence[Tuple[str, str, str]]) -> str:
+    """EXPERIMENTS.md-style rows of (quantity, paper value, measured value)."""
+    return format_table(["quantity", "paper", "measured"], list(rows))

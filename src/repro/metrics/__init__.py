@@ -1,0 +1,24 @@
+"""Evaluation metrics: analytic improvements and empirical trace measurements."""
+
+from repro.metrics.summary import (
+    ImprovementSummary,
+    best_baseline,
+    improvement,
+    median_by_algorithm,
+    sorted_improvements,
+    speedup,
+    summarize_improvements,
+)
+from repro.metrics.empirical import EmpiricalMetrics, measure_lookup
+
+__all__ = [
+    "ImprovementSummary",
+    "best_baseline",
+    "improvement",
+    "median_by_algorithm",
+    "sorted_improvements",
+    "speedup",
+    "summarize_improvements",
+    "EmpiricalMetrics",
+    "measure_lookup",
+]

@@ -1,0 +1,66 @@
+"""Empirical (trace-driven) classification metrics.
+
+The paper's headline metrics are analytic: worst-case tree depth and bytes
+per rule.  For completeness the library also measures *observed* behaviour
+when a classifier processes a packet trace: average and tail lookup depth,
+and throughput of the Python implementation (useful for the microbenchmarks,
+not comparable to line-rate hardware numbers).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.rules.packet import Packet
+from repro.tree.lookup import TreeClassifier
+
+
+@dataclass(frozen=True)
+class EmpiricalMetrics:
+    """Observed lookup statistics for one classifier over one trace."""
+
+    num_packets: int
+    mean_depth: float
+    p50_depth: float
+    p99_depth: float
+    max_depth: int
+    lookups_per_second: float
+
+    def as_dict(self) -> dict:
+        return {
+            "num_packets": self.num_packets,
+            "mean_depth": self.mean_depth,
+            "p50_depth": self.p50_depth,
+            "p99_depth": self.p99_depth,
+            "max_depth": self.max_depth,
+            "lookups_per_second": self.lookups_per_second,
+        }
+
+
+def measure_lookup(classifier: TreeClassifier,
+                   packets: Sequence[Packet]) -> EmpiricalMetrics:
+    """Classify a trace, recording visited-node depth per packet and timing."""
+    if not packets:
+        raise ValueError("cannot measure over an empty trace")
+    depths: List[int] = []
+    start = time.perf_counter()
+    for packet in packets:
+        total_depth = 0
+        for tree in classifier.trees:
+            _, depth = tree.classify_with_depth(packet)
+            total_depth += depth
+        depths.append(total_depth)
+    elapsed = time.perf_counter() - start
+    arr = np.array(depths)
+    return EmpiricalMetrics(
+        num_packets=len(packets),
+        mean_depth=float(arr.mean()),
+        p50_depth=float(np.percentile(arr, 50)),
+        p99_depth=float(np.percentile(arr, 99)),
+        max_depth=int(arr.max()),
+        lookups_per_second=len(packets) / elapsed if elapsed > 0 else float("inf"),
+    )

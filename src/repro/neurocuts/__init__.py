@@ -1,0 +1,73 @@
+"""NeuroCuts: the paper's core contribution, built on the RL and tree substrates."""
+
+from repro.neurocuts.config import (
+    NeuroCutsConfig,
+    PARTITION_MODES,
+    REWARD_MODES,
+    REWARD_SCALING,
+)
+from repro.neurocuts.action_space import (
+    ActionSpec,
+    NeuroCutsActionSpace,
+    SIMPLE_PARTITION_THRESHOLDS,
+)
+from repro.neurocuts.observation import (
+    NUM_EFFICUTS_CATEGORIES,
+    ObservationEncoder,
+    binary_encode,
+    one_hot,
+)
+from repro.neurocuts.reward import (
+    RewardCalculator,
+    RewardComponents,
+    SCALING_FUNCTIONS,
+    linear_scaling,
+    log_scaling,
+)
+from repro.neurocuts.env import NeuroCutsEnv, RolloutResult
+from repro.neurocuts.trainer import (
+    IterationStats,
+    NeuroCutsBuilder,
+    NeuroCutsTrainer,
+    TrainingResult,
+)
+from repro.neurocuts.updates import IncrementalUpdater, UpdateStats
+from repro.neurocuts.visualize import (
+    LevelProfile,
+    TreeProfile,
+    compare_profiles,
+    profile_tree,
+    render_profile,
+)
+
+__all__ = [
+    "NeuroCutsConfig",
+    "PARTITION_MODES",
+    "REWARD_MODES",
+    "REWARD_SCALING",
+    "ActionSpec",
+    "NeuroCutsActionSpace",
+    "SIMPLE_PARTITION_THRESHOLDS",
+    "NUM_EFFICUTS_CATEGORIES",
+    "ObservationEncoder",
+    "binary_encode",
+    "one_hot",
+    "RewardCalculator",
+    "RewardComponents",
+    "SCALING_FUNCTIONS",
+    "linear_scaling",
+    "log_scaling",
+    "NeuroCutsEnv",
+    "RolloutResult",
+    "IterationStats",
+    "NeuroCutsBuilder",
+    "NeuroCutsTrainer",
+    "TrainingResult",
+    "IncrementalUpdater",
+    "UpdateStats",
+    "LevelProfile",
+    "TreeProfile",
+    "compare_profiles",
+    "profile_tree",
+    "render_profile",
+]

@@ -1,0 +1,189 @@
+"""NeuroCuts action space: (dimension, per-dimension action) tuples.
+
+Appendix A: actions are sampled from two categorical distributions, one
+selecting the dimension and one selecting what to do along that dimension.
+The second component enumerates the cut fan-outs (2, 4, 8, 16, 32) followed
+by the partition choices allowed by the configured partition mode:
+
+* ``none`` — cut actions only;
+* ``simple`` — one partition action per discrete coverage-threshold level
+  (0 %, 2 %, ..., 64 %; the 100 % level cannot separate anything and is
+  excluded), applied along the selected dimension;
+* ``efficuts`` — a single EffiCuts-partition action (the dimension component
+  is ignored for it).
+
+Partition actions are only available at the top levels of the tree; the
+action mask communicates that to the policy, exactly like the paper's
+``ActionMask`` observation component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigError
+from repro.rules.fields import DIMENSIONS, Dimension
+from repro.rl.spaces import Discrete, TupleSpace
+from repro.tree.actions import (
+    CUT_SIZES,
+    PARTITION_LEVELS,
+    Action,
+    CutAction,
+    EffiCutsPartitionAction,
+    PartitionAction,
+)
+from repro.tree.node import Node
+from repro.neurocuts.config import NeuroCutsConfig
+
+#: Simple-partition thresholds the agent may pick (100 % excluded: it cannot
+#: separate rules, every coverage fraction is <= 1).
+SIMPLE_PARTITION_THRESHOLDS: Tuple[float, ...] = PARTITION_LEVELS[:-1]
+
+
+@dataclass(frozen=True)
+class ActionSpec:
+    """Static description of the NeuroCuts action encoding for one config."""
+
+    num_dimensions: int
+    num_cut_actions: int
+    num_partition_actions: int
+    partition_mode: str
+
+    @property
+    def per_dimension_actions(self) -> int:
+        """Size of the second categorical component."""
+        return self.num_cut_actions + self.num_partition_actions
+
+    @property
+    def sizes(self) -> Tuple[int, int]:
+        """Component sizes of the tuple action space."""
+        return (self.num_dimensions, self.per_dimension_actions)
+
+
+class NeuroCutsActionSpace:
+    """Encodes/decodes NeuroCuts tuple actions and computes action masks."""
+
+    def __init__(self, config: NeuroCutsConfig) -> None:
+        self.config = config
+        if config.partition_mode == "none":
+            num_partition = 0
+        elif config.partition_mode == "simple":
+            num_partition = len(SIMPLE_PARTITION_THRESHOLDS)
+        elif config.partition_mode == "efficuts":
+            num_partition = 1
+        else:  # pragma: no cover - config validation rejects this earlier
+            raise ConfigError(f"unknown partition mode {config.partition_mode!r}")
+        self.spec = ActionSpec(
+            num_dimensions=len(DIMENSIONS),
+            num_cut_actions=len(CUT_SIZES),
+            num_partition_actions=num_partition,
+            partition_mode=config.partition_mode,
+        )
+        self.space = TupleSpace(
+            spaces=(
+                Discrete(self.spec.num_dimensions),
+                Discrete(self.spec.per_dimension_actions),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+
+    def decode(self, action: Tuple[int, int]) -> Action:
+        """Convert a (dimension index, action index) pair to a tree action."""
+        dim_idx, act_idx = int(action[0]), int(action[1])
+        if not self.space.contains((dim_idx, act_idx)):
+            raise ConfigError(f"action {action} outside the action space")
+        dimension = DIMENSIONS[dim_idx]
+        if act_idx < self.spec.num_cut_actions:
+            return CutAction(dimension=dimension, num_cuts=CUT_SIZES[act_idx])
+        partition_idx = act_idx - self.spec.num_cut_actions
+        if self.spec.partition_mode == "simple":
+            threshold = SIMPLE_PARTITION_THRESHOLDS[partition_idx]
+            return PartitionAction(dimension=dimension, threshold=threshold)
+        return EffiCutsPartitionAction(
+            largeness_threshold=self.config.efficuts_largeness_threshold
+        )
+
+    # ------------------------------------------------------------------ #
+    # Masks
+    # ------------------------------------------------------------------ #
+
+    def masks_for_node(self, node: Node) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-component boolean masks of the actions valid at ``node``.
+
+        A cut size is valid when the node's range along at least one
+        dimension is wide enough to cut (the dimension mask handles the
+        per-dimension width); partition actions are valid only in the top
+        ``partition_top_levels`` levels of the tree and only if they would
+        separate the node's rules into two non-empty groups.
+        """
+        dim_mask = np.zeros(self.spec.num_dimensions, dtype=bool)
+        for i, dim in enumerate(DIMENSIONS):
+            lo, hi = node.range_for(dim)
+            dim_mask[i] = (hi - lo) >= 2
+        if not dim_mask.any():
+            # Degenerate box: allow everything and let the environment turn
+            # the inapplicable action into a forced leaf.
+            dim_mask[:] = True
+
+        act_mask = np.zeros(self.spec.per_dimension_actions, dtype=bool)
+        act_mask[: self.spec.num_cut_actions] = True
+
+        partition_allowed = (
+            self.spec.num_partition_actions > 0
+            and node.depth < self.config.partition_top_levels
+        )
+        if partition_allowed:
+            if self.spec.partition_mode == "efficuts":
+                act_mask[self.spec.num_cut_actions] = self._efficuts_separates(node)
+            else:
+                for j, threshold in enumerate(SIMPLE_PARTITION_THRESHOLDS):
+                    act_mask[self.spec.num_cut_actions + j] = (
+                        self._simple_separates(node, threshold)
+                    )
+        return dim_mask, act_mask
+
+    def _simple_separates(self, node: Node, threshold: float) -> bool:
+        """True if some dimension's coverage threshold splits the rules."""
+        for dim in DIMENSIONS:
+            large = sum(
+                1 for rule in node.rules
+                if rule.coverage_fraction(dim) > threshold
+            )
+            if 0 < large < node.num_rules:
+                return True
+        return False
+
+    def _efficuts_separates(self, node: Node) -> bool:
+        """True if the EffiCuts partition yields at least two categories."""
+        from repro.tree.node import efficuts_categories
+
+        buckets = efficuts_categories(
+            node.rules, self.config.efficuts_largeness_threshold
+        )
+        return sum(1 for b in buckets if b) >= 2
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> str:
+        """One-line description of the configured action encoding."""
+        return (
+            f"Tuple(Discrete({self.spec.num_dimensions}), "
+            f"Discrete({self.spec.num_cut_actions} cuts + "
+            f"{self.spec.num_partition_actions} partitions))"
+        )
+
+    def all_actions(self) -> List[Tuple[int, int]]:
+        """Enumerate every (dimension, action) index pair."""
+        return [
+            (d, a)
+            for d in range(self.spec.num_dimensions)
+            for a in range(self.spec.per_dimension_actions)
+        ]

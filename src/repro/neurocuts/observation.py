@@ -1,0 +1,110 @@
+"""NeuroCuts observation encoding (Appendix A).
+
+The agent never sees the rest of the tree — only a fixed-length encoding of
+the node it must act on:
+
+* for every dimension, the node's range boundaries as binary strings
+  (``BinaryString(range_min) + BinaryString(range_max)``);
+* for every dimension, one-hot encodings of the partition state
+  (``OneHot(partition_min) + OneHot(partition_max)`` over the discrete
+  coverage levels);
+* a one-hot encoding of the node's EffiCuts partition category; and
+* the action mask, flattened.
+
+The exact bit count differs slightly from the paper's 278 (the paper packs
+the same information with a shared mask layout); the encoder reports its
+size via :attr:`ObservationEncoder.size` and everything downstream adapts.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.rules.fields import DIMENSIONS, FIELD_BITS, Dimension
+from repro.rl.spaces import Box
+from repro.tree.actions import PARTITION_LEVELS
+from repro.tree.node import Node
+from repro.neurocuts.action_space import NeuroCutsActionSpace
+
+#: Number of EffiCuts categories (one per subset of the five dimensions).
+NUM_EFFICUTS_CATEGORIES = 1 << len(DIMENSIONS)
+
+
+def binary_encode(value: int, bits: int) -> np.ndarray:
+    """Encode an unsigned integer as a most-significant-bit-first bit vector."""
+    if value < 0 or value >= (1 << bits):
+        raise ValueError(f"value {value} does not fit in {bits} bits")
+    return np.array(
+        [(value >> shift) & 1 for shift in range(bits - 1, -1, -1)],
+        dtype=np.float64,
+    )
+
+
+def one_hot(index: int, size: int) -> np.ndarray:
+    """Standard one-hot vector."""
+    if not 0 <= index < size:
+        raise ValueError(f"one-hot index {index} out of range [0, {size})")
+    vec = np.zeros(size, dtype=np.float64)
+    vec[index] = 1.0
+    return vec
+
+
+class ObservationEncoder:
+    """Encodes a tree node into the fixed-length NeuroCuts observation."""
+
+    def __init__(self, action_space: NeuroCutsActionSpace) -> None:
+        self.action_space = action_space
+        self._range_bits = sum(2 * FIELD_BITS[d] for d in DIMENSIONS)
+        self._partition_bits = 2 * len(PARTITION_LEVELS) * len(DIMENSIONS)
+        self._efficuts_bits = NUM_EFFICUTS_CATEGORIES
+        self._mask_bits = sum(action_space.space.sizes)
+        self.size = (
+            self._range_bits
+            + self._partition_bits
+            + self._efficuts_bits
+            + self._mask_bits
+        )
+        self.space = Box(low=0.0, high=1.0, shape=(self.size,))
+
+    def encode(self, node: Node,
+               masks: Tuple[np.ndarray, np.ndarray] | None = None) -> np.ndarray:
+        """Encode one node (and the masks in force at it) as a flat vector."""
+        if masks is None:
+            masks = self.action_space.masks_for_node(node)
+        parts = []
+        # Range boundaries per dimension.  The range maximum is encoded as
+        # hi - 1 so the full field range still fits in the field's bit width.
+        for dim in DIMENSIONS:
+            lo, hi = node.range_for(dim)
+            bits = FIELD_BITS[dim]
+            parts.append(binary_encode(lo, bits))
+            parts.append(binary_encode(hi - 1, bits))
+        # Partition state per dimension.
+        for dim in DIMENSIONS:
+            lo_level, hi_level = node.partition_state[int(dim)]
+            parts.append(one_hot(lo_level, len(PARTITION_LEVELS)))
+            parts.append(one_hot(hi_level, len(PARTITION_LEVELS)))
+        # EffiCuts category (category 0 also covers "no partition applied").
+        category = node.efficuts_category if node.efficuts_category is not None else 0
+        parts.append(one_hot(category, NUM_EFFICUTS_CATEGORIES))
+        # Flattened action mask.
+        dim_mask, act_mask = masks
+        parts.append(np.asarray(dim_mask, dtype=np.float64))
+        parts.append(np.asarray(act_mask, dtype=np.float64))
+        obs = np.concatenate(parts)
+        if obs.shape[0] != self.size:
+            raise AssertionError(
+                f"observation has {obs.shape[0]} entries, expected {self.size}"
+            )
+        return obs
+
+    def describe(self) -> str:
+        """Breakdown of the observation layout."""
+        return (
+            f"Box(low=0, high=1, shape=({self.size},)) = "
+            f"{self._range_bits} range bits + {self._partition_bits} partition bits "
+            f"+ {self._efficuts_bits} EffiCuts-category bits + "
+            f"{self._mask_bits} action-mask bits"
+        )

@@ -1,0 +1,76 @@
+"""Reward computation for NeuroCuts (Algorithm 1, lines 16–17).
+
+The return assigned to the decision taken at node ``s`` is::
+
+    R = -(c * f(Time(s)) + (1 - c) * f(Space(s)))
+
+where ``Time(s)`` and ``Space(s)`` are the classification time and memory
+footprint of the completed subtree rooted at ``s`` (Eqs. 1–4), ``c`` is the
+time-space coefficient, and ``f`` is the reward scaling function (identity or
+logarithm).  Rewards are computed only once the tree rollout is complete —
+the "delayed reward" structure the paper highlights — and every recorded
+1-step decision receives the reward of its own subtree, which is what makes
+the per-node decisions align with the global objective (Eq. 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.exceptions import ConfigError
+from repro.tree.node import Node
+from repro.tree.stats import subtree_space, subtree_time
+from repro.neurocuts.config import NeuroCutsConfig
+
+
+def linear_scaling(value: float) -> float:
+    """Identity reward scaling, f(x) = x."""
+    return float(value)
+
+
+def log_scaling(value: float) -> float:
+    """Logarithmic reward scaling, f(x) = log(x); used when mixing objectives."""
+    return math.log(max(1.0, float(value)))
+
+
+SCALING_FUNCTIONS: Dict[str, Callable[[float], float]] = {
+    "linear": linear_scaling,
+    "log": log_scaling,
+}
+
+
+@dataclass(frozen=True)
+class RewardComponents:
+    """The raw and combined reward terms for one subtree."""
+
+    time: float
+    space: float
+    reward: float
+
+
+class RewardCalculator:
+    """Computes subtree rewards according to a NeuroCuts configuration."""
+
+    def __init__(self, config: NeuroCutsConfig) -> None:
+        if config.reward_scaling not in SCALING_FUNCTIONS:
+            raise ConfigError(f"unknown reward scaling {config.reward_scaling!r}")
+        self.coefficient = config.time_space_coeff
+        self.scaling = SCALING_FUNCTIONS[config.reward_scaling]
+
+    def subtree_reward(self, node: Node) -> RewardComponents:
+        """Reward of the completed subtree rooted at ``node``."""
+        time = float(subtree_time(node))
+        space = float(subtree_space(node))
+        return self.combine(time, space)
+
+    def combine(self, time: float, space: float) -> RewardComponents:
+        """Combine raw time/space into the scalar reward."""
+        c = self.coefficient
+        reward = -(c * self.scaling(time) + (1.0 - c) * self.scaling(space))
+        return RewardComponents(time=time, space=space, reward=reward)
+
+    def objective(self, time: float, space: float) -> float:
+        """The minimisation objective (the negation of the reward)."""
+        return -self.combine(time, space).reward

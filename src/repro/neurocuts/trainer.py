@@ -1,0 +1,229 @@
+"""The NeuroCuts training driver (Algorithm 1 + the PPO realisation of §5).
+
+The trainer ties together the environment (tree rollouts with delayed
+subtree rewards), the shared-trunk actor-critic network, and the PPO learner.
+Each training iteration collects at least ``timesteps_per_batch`` decision
+steps worth of rollouts, runs a PPO update, and tracks the best tree seen so
+far under the configured time/space objective — the artifact the evaluation
+section reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import BuildError
+from repro.rules.ruleset import RuleSet
+from repro.nn.model import ActorCriticMLP
+from repro.rl.batch import SampleBatch
+from repro.rl.policy import Policy
+from repro.rl.ppo import PPOLearner, PPOStats
+from repro.tree.lookup import TreeClassifier
+from repro.tree.tree import DecisionTree
+from repro.baselines.base import TreeBuilder
+from repro.neurocuts.config import NeuroCutsConfig
+from repro.neurocuts.env import NeuroCutsEnv, RolloutResult
+
+
+@dataclass
+class IterationStats:
+    """Diagnostics for one training iteration (one PPO batch)."""
+
+    iteration: int
+    timesteps_total: int
+    num_rollouts: int
+    mean_reward: float
+    best_objective: float
+    best_time: float
+    best_space: float
+    policy_loss: float
+    value_loss: float
+    entropy: float
+    kl: float
+    wall_time_s: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a full NeuroCuts training run."""
+
+    best_tree: DecisionTree
+    best_objective: float
+    best_time: float
+    best_space: float
+    history: List[IterationStats]
+    timesteps_total: int
+
+    def best_classifier(self) -> TreeClassifier:
+        """The best tree wrapped as a deployable classifier."""
+        return TreeClassifier(self.best_tree.ruleset, [self.best_tree])
+
+
+class NeuroCutsTrainer:
+    """Trains a NeuroCuts policy for one classifier and extracts its best tree."""
+
+    def __init__(self, ruleset: RuleSet,
+                 config: Optional[NeuroCutsConfig] = None) -> None:
+        self.config = config or NeuroCutsConfig()
+        self.ruleset = ruleset
+        self.env = NeuroCutsEnv(ruleset, self.config)
+        self.model = ActorCriticMLP(
+            obs_size=self.env.observation_size,
+            action_sizes=self.env.action_sizes,
+            hidden_sizes=self.config.hidden_sizes,
+            activation=self.config.activation,
+            seed=self.config.seed,
+        )
+        self.policy = Policy(self.model, self.env.action_space.space,
+                             seed=self.config.seed)
+        self.learner = PPOLearner(self.model, self.config.ppo_config(),
+                                  seed=self.config.seed)
+        self.history: List[IterationStats] = []
+        self._timesteps_total = 0
+        #: Best rollout whose tree completed within the rollout budget.
+        self._best_rollout: Optional[RolloutResult] = None
+        #: Best rollout overall, including truncated trees (still valid
+        #: classifiers — truncation only leaves oversized leaves behind).
+        self._best_any: Optional[RolloutResult] = None
+
+    # ------------------------------------------------------------------ #
+    # Rollout collection
+    # ------------------------------------------------------------------ #
+
+    def collect_batch(self) -> tuple[SampleBatch, List[RolloutResult]]:
+        """Run rollouts until the per-batch timestep budget is filled."""
+        batches: List[SampleBatch] = []
+        rollouts: List[RolloutResult] = []
+        steps = 0
+        while steps < self.config.timesteps_per_batch:
+            result = self.env.rollout(self.policy)
+            rollouts.append(result)
+            steps += result.num_steps
+            self._timesteps_total += result.num_steps
+            if result.batch is not None:
+                batches.append(result.batch)
+            self._consider_best(result)
+            if self._timesteps_total >= self.config.max_timesteps_total:
+                break
+        if not batches:
+            raise BuildError("no experience collected; rollouts produced no steps")
+        return SampleBatch.concat(batches), rollouts
+
+    def _consider_best(self, result: RolloutResult) -> None:
+        """Track the best complete (non-overflowing) tree seen so far."""
+        if self._best_any is None or result.objective < self._best_any.objective:
+            self._best_any = result
+        if result.truncated and result.tree.has_overflowing_leaves():
+            return
+        if self._best_rollout is None or result.objective < self._best_rollout.objective:
+            self._best_rollout = result
+
+    # ------------------------------------------------------------------ #
+    # Training loop
+    # ------------------------------------------------------------------ #
+
+    def train(self, max_iterations: Optional[int] = None) -> TrainingResult:
+        """Run training until the timestep budget (or iteration cap) is hit."""
+        iteration = len(self.history)
+        stale_iterations = 0
+        last_best = float("inf")
+        while self._timesteps_total < self.config.max_timesteps_total:
+            if max_iterations is not None and iteration >= max_iterations:
+                break
+            start = time.perf_counter()
+            batch, rollouts = self.collect_batch()
+            ppo_stats = self.learner.update(batch)
+            iteration += 1
+            stats = self._record_iteration(iteration, rollouts, ppo_stats,
+                                           time.perf_counter() - start)
+            if self.config.convergence_patience is not None:
+                if stats.best_objective < last_best - 1e-9:
+                    last_best = stats.best_objective
+                    stale_iterations = 0
+                else:
+                    stale_iterations += 1
+                    if stale_iterations >= self.config.convergence_patience:
+                        break
+        return self.result()
+
+    def _record_iteration(self, iteration: int, rollouts: List[RolloutResult],
+                          ppo_stats: PPOStats, wall_time: float) -> IterationStats:
+        best = self._best_rollout or self._best_any
+        stats = IterationStats(
+            iteration=iteration,
+            timesteps_total=self._timesteps_total,
+            num_rollouts=len(rollouts),
+            mean_reward=float(np.mean([r.root_reward.reward for r in rollouts])),
+            best_objective=best.objective if best else float("inf"),
+            best_time=best.root_reward.time if best else float("inf"),
+            best_space=best.root_reward.space if best else float("inf"),
+            policy_loss=ppo_stats.policy_loss,
+            value_loss=ppo_stats.value_loss,
+            entropy=ppo_stats.entropy,
+            kl=ppo_stats.kl,
+            wall_time_s=wall_time,
+        )
+        self.history.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def result(self) -> TrainingResult:
+        """Package the best tree found so far (training may continue after).
+
+        Complete trees are preferred; if every rollout so far was truncated,
+        the best truncated tree is returned (it is still a correct, if slow,
+        classifier).
+        """
+        best = self._best_rollout or self._best_any
+        if best is None:
+            raise BuildError("train() has not produced any tree yet")
+        return TrainingResult(
+            best_tree=best.tree,
+            best_objective=best.objective,
+            best_time=best.root_reward.time,
+            best_space=best.root_reward.space,
+            history=list(self.history),
+            timesteps_total=self._timesteps_total,
+        )
+
+    def sample_trees(self, count: int, deterministic: bool = False
+                     ) -> List[DecisionTree]:
+        """Draw trees from the current (stochastic) policy — Figure 6."""
+        trees = []
+        for _ in range(count):
+            result = self.env.rollout(
+                self.policy, deterministic=deterministic, collect_experience=False
+            )
+            trees.append(result.tree)
+        return trees
+
+
+class NeuroCutsBuilder(TreeBuilder):
+    """Adapter exposing NeuroCuts through the common TreeBuilder interface.
+
+    This is what the figure benchmarks use so NeuroCuts slots into the same
+    comparison harness as the baseline heuristics.
+    """
+
+    name = "NeuroCuts"
+
+    def __init__(self, config: Optional[NeuroCutsConfig] = None,
+                 max_iterations: Optional[int] = None) -> None:
+        self.config = config or NeuroCutsConfig()
+        self.max_iterations = max_iterations
+        self.last_result: Optional[TrainingResult] = None
+
+    def build(self, ruleset: RuleSet) -> TreeClassifier:
+        trainer = NeuroCutsTrainer(ruleset, self.config)
+        self.last_result = trainer.train(max_iterations=self.max_iterations)
+        return self.last_result.best_classifier()

@@ -1,0 +1,128 @@
+"""Incremental classifier updates (Section 4.2, "Handling classifier updates").
+
+Small updates do not retrain the policy: new rules are inserted into the
+existing tree along every path whose box they intersect (respecting the
+partition structure), and deleted rules are removed from the leaves that hold
+them.  When updates accumulate past a threshold, the caller is told to
+retrain (the paper's "re-runs training" case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.rules.fields import DIMENSIONS
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+from repro.tree.actions import EffiCutsPartitionAction, PartitionAction
+from repro.tree.node import Node, efficuts_categories
+from repro.tree.tree import DecisionTree
+
+
+@dataclass
+class UpdateStats:
+    """Bookkeeping about updates applied to a live classifier."""
+
+    rules_added: int = 0
+    rules_removed: int = 0
+    leaves_touched: int = 0
+
+    @property
+    def total_updates(self) -> int:
+        return self.rules_added + self.rules_removed
+
+
+class IncrementalUpdater:
+    """Applies rule insertions/removals to an already-built decision tree."""
+
+    def __init__(self, tree: DecisionTree, retrain_threshold: int = 100) -> None:
+        self.tree = tree
+        self.retrain_threshold = retrain_threshold
+        self.stats = UpdateStats()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def add_rule(self, rule: Rule) -> int:
+        """Insert a rule into every leaf whose region it intersects.
+
+        Returns the number of leaves the rule was added to.
+        """
+        touched = self._insert(self.tree.root, rule)
+        if touched:
+            self.tree.ruleset = self.tree.ruleset.with_rules_added([rule])
+            if rule not in self.tree.root.rules:
+                self.tree.root.rules.append(rule)
+            self.stats.rules_added += 1
+            self.stats.leaves_touched += touched
+        return touched
+
+    def remove_rule(self, rule: Rule) -> int:
+        """Remove a rule from every leaf holding it.
+
+        Returns the number of leaves the rule was removed from.
+        """
+        touched = 0
+        for node in self.tree.nodes():
+            if rule in node.rules:
+                node.rules.remove(rule)
+                if node.is_leaf:
+                    touched += 1
+        if touched or rule in self.tree.ruleset.rules:
+            self.tree.ruleset = self.tree.ruleset.with_rules_removed([rule])
+            self.stats.rules_removed += 1
+            self.stats.leaves_touched += touched
+        return touched
+
+    def needs_retraining(self) -> bool:
+        """True once enough updates accumulated that retraining is advised."""
+        return self.stats.total_updates >= self.retrain_threshold
+
+    # ------------------------------------------------------------------ #
+    # Insertion routing
+    # ------------------------------------------------------------------ #
+
+    def _insert(self, node: Node, rule: Rule) -> int:
+        if not rule.intersects(node.ranges):
+            return 0
+        if node.is_leaf:
+            if rule not in node.rules:
+                node.rules.append(rule)
+                node.rules.sort(key=lambda r: -r.priority)
+            return 1
+        touched = 0
+        if isinstance(node.action, PartitionAction):
+            coverage = rule.coverage_fraction(node.action.dimension)
+            # Children were created in (small, large) order.
+            target = node.children[1] if coverage > node.action.threshold \
+                else node.children[0]
+            touched += self._insert(target, rule)
+        elif isinstance(node.action, EffiCutsPartitionAction):
+            mask = 0
+            for dim in DIMENSIONS:
+                if rule.coverage_fraction(dim) > node.action.largeness_threshold:
+                    mask |= 1 << int(dim)
+            target = self._efficuts_child(node, mask)
+            touched += self._insert(target, rule)
+        else:
+            for child in node.children:
+                touched += self._insert(child, rule)
+        if touched and rule not in node.rules:
+            node.rules.append(rule)
+            node.rules.sort(key=lambda r: -r.priority)
+        return touched
+
+    def _efficuts_child(self, node: Node, mask: int) -> Node:
+        """Pick the partition child whose category matches (or is closest to)
+        the rule's largeness mask."""
+        exact = [c for c in node.children if c.efficuts_category == mask]
+        if exact:
+            return exact[0]
+        # No exact category (it was empty at build time): use the child with
+        # the closest mask so the rule still lands in exactly one tree.
+        return min(
+            node.children,
+            key=lambda c: bin((c.efficuts_category or 0) ^ mask).count("1"),
+        )

@@ -1,0 +1,105 @@
+"""Tree-shape and learning-progress visualisation data (Figures 5 and 6).
+
+The paper visualises learning by plotting, per tree level, the number of
+nodes and the distribution of cut dimensions.  Rendering is left to the
+caller (the benchmark scripts print text tables); this module computes the
+underlying data structures from trees and training histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.rules.fields import DIMENSIONS, Dimension
+from repro.tree.actions import CutAction, MultiCutAction
+from repro.tree.tree import DecisionTree
+
+
+@dataclass(frozen=True)
+class LevelProfile:
+    """Node count and cut-dimension mix at one tree level."""
+
+    level: int
+    num_nodes: int
+    cut_dimension_counts: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class TreeProfile:
+    """The per-level profile of one tree (one column group of Figure 5)."""
+
+    depth: int
+    num_nodes: int
+    levels: List[LevelProfile]
+
+    def dominant_dimensions(self, top_k: int = 3) -> List[str]:
+        """The most frequently cut dimensions across the whole tree."""
+        totals: Dict[str, int] = {}
+        for level in self.levels:
+            for dim, count in level.cut_dimension_counts.items():
+                totals[dim] = totals.get(dim, 0) + count
+        ranked = sorted(totals, key=lambda d: -totals[d])
+        return ranked[:top_k]
+
+
+def profile_tree(tree: DecisionTree) -> TreeProfile:
+    """Compute the per-level node counts and cut-dimension histograms."""
+    per_level_nodes: Dict[int, int] = {}
+    per_level_cuts: Dict[int, Dict[str, int]] = {}
+    for node in tree.nodes():
+        per_level_nodes[node.depth] = per_level_nodes.get(node.depth, 0) + 1
+        if node.action is None:
+            continue
+        dims: List[Dimension] = []
+        if isinstance(node.action, CutAction):
+            dims = [node.action.dimension]
+        elif isinstance(node.action, MultiCutAction):
+            dims = [d for d, _ in node.action.cuts]
+        for dim in dims:
+            level_counts = per_level_cuts.setdefault(node.depth, {})
+            level_counts[dim.name] = level_counts.get(dim.name, 0) + 1
+    levels = [
+        LevelProfile(
+            level=level,
+            num_nodes=per_level_nodes[level],
+            cut_dimension_counts=per_level_cuts.get(level, {}),
+        )
+        for level in sorted(per_level_nodes)
+    ]
+    return TreeProfile(
+        depth=max(per_level_nodes) if per_level_nodes else 0,
+        num_nodes=sum(per_level_nodes.values()),
+        levels=levels,
+    )
+
+
+def render_profile(profile: TreeProfile, max_width: int = 50) -> str:
+    """Render a text version of Figure 5's per-level bar chart."""
+    if not profile.levels:
+        return "(empty tree)"
+    peak = max(level.num_nodes for level in profile.levels)
+    lines = []
+    for level in profile.levels:
+        bar_len = max(1, int(round(max_width * level.num_nodes / peak)))
+        dims = ",".join(
+            f"{name}:{count}" for name, count in
+            sorted(level.cut_dimension_counts.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(
+            f"level {level.level:>3} | {'#' * bar_len:<{max_width}} "
+            f"{level.num_nodes:>6} nodes  {dims}"
+        )
+    return "\n".join(lines)
+
+
+def compare_profiles(profiles: Sequence[TreeProfile]) -> Dict[str, List[float]]:
+    """Summarise a sequence of profiles (e.g. over training) as curves.
+
+    Returns series for tree depth and node count, in profile order — the
+    data behind Figure 5's left-to-right snapshots.
+    """
+    return {
+        "depth": [float(p.depth) for p in profiles],
+        "num_nodes": [float(p.num_nodes) for p in profiles],
+    }

@@ -1,0 +1,37 @@
+"""Numpy neural-network substrate: layers, models, optimisers, distributions."""
+
+from repro.nn.layers import ACTIVATIONS, Dense, ReLU, Tanh
+from repro.nn.model import ActorCriticMLP
+from repro.nn.optim import Adam, Optimizer, SGD, clip_gradients
+from repro.nn.distributions import (
+    Categorical,
+    MultiCategorical,
+    log_softmax,
+    masked_logits,
+    softmax,
+)
+from repro.nn.checkpoints import load_checkpoint, save_checkpoint
+from repro.nn.initializers import orthogonal, small_normal, xavier_uniform, zeros
+
+__all__ = [
+    "ACTIVATIONS",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "ActorCriticMLP",
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "clip_gradients",
+    "Categorical",
+    "MultiCategorical",
+    "log_softmax",
+    "masked_logits",
+    "softmax",
+    "load_checkpoint",
+    "save_checkpoint",
+    "orthogonal",
+    "small_normal",
+    "xavier_uniform",
+    "zeros",
+]

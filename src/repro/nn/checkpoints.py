@@ -1,0 +1,52 @@
+"""Model checkpointing: save/restore network parameters as ``.npz`` files."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+from repro.nn.model import ActorCriticMLP
+
+
+def save_checkpoint(model: ActorCriticMLP, path: Union[str, Path]) -> None:
+    """Save model architecture and parameters to a single ``.npz`` file."""
+    path = Path(path)
+    params = model.parameters()
+    arrays = {f"param::{name}": value for name, value in params.items()}
+    arrays["__config__"] = np.frombuffer(
+        json.dumps(model.clone_config()).encode(), dtype=np.uint8
+    )
+    try:
+        np.savez(path, **arrays)
+    except OSError as exc:
+        raise CheckpointError(f"could not write checkpoint to {path}: {exc}") from exc
+
+
+def load_checkpoint(path: Union[str, Path]) -> ActorCriticMLP:
+    """Rebuild a model (architecture + weights) from a checkpoint file."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    try:
+        data = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"could not read checkpoint {path}: {exc}") from exc
+    if "__config__" not in data:
+        raise CheckpointError(f"{path} is not a repro checkpoint (missing config)")
+    config = json.loads(bytes(data["__config__"]).decode())
+    model = ActorCriticMLP(
+        obs_size=config["obs_size"],
+        action_sizes=config["action_sizes"],
+        hidden_sizes=config["hidden_sizes"],
+        activation=config["activation"],
+    )
+    params: Dict[str, np.ndarray] = {}
+    for key in data.files:
+        if key.startswith("param::"):
+            params[key[len("param::"):]] = data[key]
+    model.load_parameters(params)
+    return model

@@ -1,0 +1,34 @@
+"""Weight initializers for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation, the default for tanh networks."""
+    fan_in, fan_out = shape[0], shape[1]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def orthogonal(shape: tuple, rng: np.random.Generator,
+               gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation, commonly used for policy-gradient networks."""
+    rows, cols = shape
+    flat = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, _ = np.linalg.qr(flat)
+    q = q[:rows, :cols] if rows >= cols else q.T[:rows, :cols]
+    return (gain * q).astype(np.float64)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero initialisation (biases, final policy head)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def small_normal(shape: tuple, rng: np.random.Generator,
+                 scale: float = 0.01) -> np.ndarray:
+    """Small-variance normal initialisation for output heads."""
+    return (rng.normal(scale=scale, size=shape)).astype(np.float64)

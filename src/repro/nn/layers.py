@@ -1,0 +1,87 @@
+"""Dense layers and activations with explicit forward/backward passes.
+
+The network sizes in the paper (two 512-unit tanh layers over a 278-bit
+observation) are small enough that a straightforward numpy implementation
+with hand-written backpropagation is fast and keeps the whole RL stack free
+of external deep-learning dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.initializers import orthogonal, zeros
+
+
+class Dense:
+    """A fully connected layer ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, gain: float = np.sqrt(2.0),
+                 name: str = "dense") -> None:
+        self.name = name
+        self.weight = orthogonal((in_features, out_features), rng, gain=gain)
+        self.bias = zeros((out_features,))
+        self._input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches the input for the subsequent backward pass."""
+        self._input = x
+        return x @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray,
+                 grads: Dict[str, np.ndarray]) -> np.ndarray:
+        """Backward pass: accumulate parameter grads, return input grad."""
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grads[f"{self.name}.weight"] = grads.get(
+            f"{self.name}.weight", 0.0) + self._input.T @ grad_output
+        grads[f"{self.name}.bias"] = grads.get(
+            f"{self.name}.bias", 0.0) + grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """Named parameter views (mutating them updates the layer)."""
+        return {f"{self.name}.weight": self.weight, f"{self.name}.bias": self.bias}
+
+    def load_parameters(self, params: Dict[str, np.ndarray]) -> None:
+        """Replace this layer's parameters from a named dict."""
+        self.weight = np.array(params[f"{self.name}.weight"], dtype=np.float64)
+        self.bias = np.array(params[f"{self.name}.bias"], dtype=np.float64)
+
+
+class Tanh:
+    """Elementwise tanh activation (the paper's nonlinearity)."""
+
+    def __init__(self) -> None:
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._output ** 2)
+
+
+class ReLU:
+    """Elementwise ReLU activation (available for ablations)."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+ACTIVATIONS = {"tanh": Tanh, "relu": ReLU}

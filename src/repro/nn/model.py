@@ -1,0 +1,135 @@
+"""Actor-critic MLP: shared tanh trunk with policy and value heads.
+
+This matches Appendix B of the paper: a fully connected network with hidden
+layers ``[512, 512]``, tanh nonlinearity, and weight sharing between the
+policy parameters θ and the value parameters θ_v (the two heads read the same
+trunk output).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.initializers import orthogonal, small_normal, zeros
+from repro.nn.layers import ACTIVATIONS, Dense
+
+
+class ActorCriticMLP:
+    """A shared-trunk actor-critic network.
+
+    Args:
+        obs_size: size of the flat observation vector.
+        action_sizes: number of categories for each action component (the
+            NeuroCuts action is a tuple of two categoricals, so this is a
+            2-element sequence).
+        hidden_sizes: trunk layer widths (default [512, 512] as in the paper).
+        activation: "tanh" (paper default) or "relu".
+        seed: RNG seed for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        obs_size: int,
+        action_sizes: Sequence[int],
+        hidden_sizes: Sequence[int] = (512, 512),
+        activation: str = "tanh",
+        seed: int = 0,
+    ) -> None:
+        if activation not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.obs_size = obs_size
+        self.action_sizes = tuple(int(a) for a in action_sizes)
+        self.hidden_sizes = tuple(int(h) for h in hidden_sizes)
+        self.activation_name = activation
+        rng = np.random.default_rng(seed)
+
+        self._trunk: List[Dense] = []
+        self._acts = []
+        last = obs_size
+        for i, width in enumerate(self.hidden_sizes):
+            self._trunk.append(Dense(last, width, rng, name=f"trunk{i}"))
+            self._acts.append(ACTIVATIONS[activation]())
+            last = width
+        total_logits = sum(self.action_sizes)
+        self._policy_head = Dense(last, total_logits, rng, gain=0.01, name="policy")
+        self._value_head = Dense(last, 1, rng, gain=1.0, name="value")
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+
+    def forward(self, obs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Compute (logits, values) for a batch of observations.
+
+        Returns:
+            logits with shape ``(batch, sum(action_sizes))`` and values with
+            shape ``(batch,)``.
+        """
+        x = np.asarray(obs, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        for layer, act in zip(self._trunk, self._acts):
+            x = act.forward(layer.forward(x))
+        logits = self._policy_head.forward(x)
+        values = self._value_head.forward(x)[:, 0]
+        return logits, values
+
+    def backward(self, grad_logits: np.ndarray,
+                 grad_values: np.ndarray) -> Dict[str, np.ndarray]:
+        """Backpropagate head gradients; returns named parameter grads.
+
+        Must be called right after :meth:`forward` on the same batch.
+        """
+        grads: Dict[str, np.ndarray] = {}
+        grad_from_policy = self._policy_head.backward(grad_logits, grads)
+        grad_from_value = self._value_head.backward(
+            np.asarray(grad_values, dtype=np.float64).reshape(-1, 1), grads
+        )
+        grad_trunk = grad_from_policy + grad_from_value
+        for layer, act in zip(reversed(self._trunk), reversed(self._acts)):
+            grad_trunk = layer.backward(act.backward(grad_trunk), grads)
+        return grads
+
+    # ------------------------------------------------------------------ #
+    # Parameter management
+    # ------------------------------------------------------------------ #
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """All named parameters of the network."""
+        params: Dict[str, np.ndarray] = {}
+        for layer in [*self._trunk, self._policy_head, self._value_head]:
+            params.update(layer.parameters())
+        return params
+
+    def load_parameters(self, params: Dict[str, np.ndarray]) -> None:
+        """Load parameters produced by :meth:`parameters` (e.g. a checkpoint)."""
+        for layer in [*self._trunk, self._policy_head, self._value_head]:
+            layer.load_parameters(params)
+
+    def apply_updates(self, new_params: Dict[str, np.ndarray]) -> None:
+        """Alias of :meth:`load_parameters` for optimiser integration."""
+        self.load_parameters(new_params)
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters().values())
+
+    def split_logits(self, logits: np.ndarray) -> List[np.ndarray]:
+        """Split the flat logits into one block per action component."""
+        blocks = []
+        start = 0
+        for size in self.action_sizes:
+            blocks.append(logits[:, start:start + size])
+            start += size
+        return blocks
+
+    def clone_config(self) -> Dict:
+        """Constructor arguments needed to rebuild an identical architecture."""
+        return {
+            "obs_size": self.obs_size,
+            "action_sizes": list(self.action_sizes),
+            "hidden_sizes": list(self.hidden_sizes),
+            "activation": self.activation_name,
+        }

@@ -1,0 +1,111 @@
+"""Gradient-descent optimisers over named parameter dictionaries."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class Optimizer:
+    """Base class: applies named gradients to named parameters in place."""
+
+    def step(self, params: Dict[str, np.ndarray],
+             grads: Dict[str, np.ndarray]) -> None:
+        """Update ``params`` in place using ``grads``."""
+        raise NotImplementedError
+
+    def state_dict(self) -> Dict:
+        """Serialisable optimiser state (for checkpointing)."""
+        return {}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore optimiser state."""
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 1e-3, momentum: float = 0.0) -> None:
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def step(self, params: Dict[str, np.ndarray],
+             grads: Dict[str, np.ndarray]) -> None:
+        for name, grad in grads.items():
+            if name not in params:
+                continue
+            if self.momentum:
+                vel = self._velocity.get(name)
+                if vel is None:
+                    vel = np.zeros_like(params[name])
+                vel = self.momentum * vel + grad
+                self._velocity[name] = vel
+                update = vel
+            else:
+                update = grad
+            params[name] -= self.learning_rate * update
+
+    def state_dict(self) -> Dict:
+        return {"velocity": {k: v.copy() for k, v in self._velocity.items()}}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self._velocity = {k: np.array(v) for k, v in state.get("velocity", {}).items()}
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, learning_rate: float = 5e-5, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8) -> None:
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: Dict[str, np.ndarray],
+             grads: Dict[str, np.ndarray]) -> None:
+        self._t += 1
+        for name, grad in grads.items():
+            if name not in params:
+                continue
+            m = self._m.get(name)
+            v = self._v.get(name)
+            if m is None:
+                m = np.zeros_like(params[name])
+                v = np.zeros_like(params[name])
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * (grad ** 2)
+            self._m[name] = m
+            self._v[name] = v
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            params[name] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def state_dict(self) -> Dict:
+        return {
+            "t": self._t,
+            "m": {k: v.copy() for k, v in self._m.items()},
+            "v": {k: v.copy() for k, v in self._v.items()},
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self._t = state.get("t", 0)
+        self._m = {k: np.array(v) for k, v in state.get("m", {}).items()}
+        self._v = {k: np.array(v) for k, v in state.get("v", {}).items()}
+
+
+def clip_gradients(grads: Dict[str, np.ndarray],
+                   max_norm: Optional[float]) -> Dict[str, np.ndarray]:
+    """Globally clip gradients to a maximum L2 norm (no-op if None)."""
+    if max_norm is None:
+        return grads
+    total = np.sqrt(sum(float(np.sum(g ** 2)) for g in grads.values()))
+    if total <= max_norm or total == 0.0:
+        return grads
+    scale = max_norm / total
+    return {name: g * scale for name, g in grads.items()}

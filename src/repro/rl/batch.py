@@ -1,0 +1,147 @@
+"""Sample batches: the experience container consumed by the PPO learner.
+
+A batch holds, for every 1-step decision collected during tree rollouts:
+the observation, the (multi-component) action taken, the action masks in
+force, the log-probability under the behaviour policy, the value prediction,
+and the final (subtree-aggregated) return assigned to that decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class SampleBatch:
+    """A flat batch of 1-step experiences."""
+
+    obs: np.ndarray
+    actions: np.ndarray
+    returns: np.ndarray
+    value_preds: np.ndarray
+    logp_old: np.ndarray
+    action_masks: Optional[List[np.ndarray]] = None
+
+    def __post_init__(self) -> None:
+        self.obs = np.asarray(self.obs, dtype=np.float64)
+        self.actions = np.asarray(self.actions, dtype=np.int64)
+        self.returns = np.asarray(self.returns, dtype=np.float64)
+        self.value_preds = np.asarray(self.value_preds, dtype=np.float64)
+        self.logp_old = np.asarray(self.logp_old, dtype=np.float64)
+        n = len(self.obs)
+        for name, arr in (("actions", self.actions), ("returns", self.returns),
+                          ("value_preds", self.value_preds),
+                          ("logp_old", self.logp_old)):
+            if len(arr) != n:
+                raise ValueError(f"{name} has length {len(arr)}, expected {n}")
+        if self.action_masks is not None:
+            self.action_masks = [np.asarray(m, dtype=bool) for m in self.action_masks]
+            for mask in self.action_masks:
+                if len(mask) != n:
+                    raise ValueError("action mask length does not match batch size")
+
+    def __len__(self) -> int:
+        return len(self.obs)
+
+    @property
+    def advantages(self) -> np.ndarray:
+        """Return minus value prediction (1-step advantage; γ = 0 framing)."""
+        return self.returns - self.value_preds
+
+    def shuffled(self, rng: np.random.Generator) -> "SampleBatch":
+        """A copy of the batch with rows permuted."""
+        order = rng.permutation(len(self))
+        return self.take(order)
+
+    def take(self, indices: np.ndarray) -> "SampleBatch":
+        """Select a subset of rows by index."""
+        masks = None
+        if self.action_masks is not None:
+            masks = [m[indices] for m in self.action_masks]
+        return SampleBatch(
+            obs=self.obs[indices],
+            actions=self.actions[indices],
+            returns=self.returns[indices],
+            value_preds=self.value_preds[indices],
+            logp_old=self.logp_old[indices],
+            action_masks=masks,
+        )
+
+    def minibatches(self, size: int,
+                    rng: np.random.Generator) -> Iterator["SampleBatch"]:
+        """Yield shuffled minibatches of at most ``size`` rows."""
+        order = rng.permutation(len(self))
+        for start in range(0, len(self), size):
+            yield self.take(order[start:start + size])
+
+    @staticmethod
+    def concat(batches: Sequence["SampleBatch"]) -> "SampleBatch":
+        """Concatenate several batches into one."""
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            raise ValueError("cannot concatenate zero non-empty batches")
+        masks = None
+        if batches[0].action_masks is not None:
+            num_components = len(batches[0].action_masks)
+            masks = [
+                np.concatenate([b.action_masks[i] for b in batches], axis=0)
+                for i in range(num_components)
+            ]
+        return SampleBatch(
+            obs=np.concatenate([b.obs for b in batches], axis=0),
+            actions=np.concatenate([b.actions for b in batches], axis=0),
+            returns=np.concatenate([b.returns for b in batches], axis=0),
+            value_preds=np.concatenate([b.value_preds for b in batches], axis=0),
+            logp_old=np.concatenate([b.logp_old for b in batches], axis=0),
+            action_masks=masks,
+        )
+
+
+@dataclass
+class ExperienceBuilder:
+    """Accumulates per-step experience lists and finalises a SampleBatch."""
+
+    obs: List[np.ndarray] = field(default_factory=list)
+    actions: List[np.ndarray] = field(default_factory=list)
+    returns: List[float] = field(default_factory=list)
+    value_preds: List[float] = field(default_factory=list)
+    logp_old: List[float] = field(default_factory=list)
+    masks: List[List[np.ndarray]] = field(default_factory=list)
+
+    def add(self, obs: np.ndarray, action: np.ndarray, ret: float,
+            value_pred: float, logp: float,
+            masks: Optional[Sequence[np.ndarray]] = None) -> None:
+        """Append one 1-step experience."""
+        self.obs.append(np.asarray(obs, dtype=np.float64))
+        self.actions.append(np.asarray(action, dtype=np.int64))
+        self.returns.append(float(ret))
+        self.value_preds.append(float(value_pred))
+        self.logp_old.append(float(logp))
+        if masks is not None:
+            self.masks.append([np.asarray(m, dtype=bool) for m in masks])
+
+    def __len__(self) -> int:
+        return len(self.obs)
+
+    def build(self) -> SampleBatch:
+        """Produce the immutable SampleBatch."""
+        if not self.obs:
+            raise ValueError("no experience collected")
+        action_masks = None
+        if self.masks:
+            num_components = len(self.masks[0])
+            action_masks = [
+                np.stack([row[i] for row in self.masks], axis=0)
+                for i in range(num_components)
+            ]
+        return SampleBatch(
+            obs=np.stack(self.obs, axis=0),
+            actions=np.stack(self.actions, axis=0),
+            returns=np.array(self.returns),
+            value_preds=np.array(self.value_preds),
+            logp_old=np.array(self.logp_old),
+            action_masks=action_masks,
+        )

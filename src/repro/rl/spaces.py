@@ -1,0 +1,67 @@
+"""Minimal Gym-style observation/action spaces.
+
+Appendix A of the paper specifies the NeuroCuts spaces in OpenAI Gym format:
+``Tuple(Discrete(NumDims), Discrete(NumCutActions + NumPartitionActions))``
+for actions and ``Box(low=0, high=1, shape=(278,))`` for observations.  This
+module provides just enough of that vocabulary, without depending on gym.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Discrete:
+    """A space of ``n`` integer actions ``{0, ..., n-1}``."""
+
+    n: int
+
+    def contains(self, value: int) -> bool:
+        return 0 <= int(value) < self.n
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.n))
+
+
+@dataclass(frozen=True)
+class Box:
+    """A bounded continuous (or binary) vector space."""
+
+    low: float
+    high: float
+    shape: Tuple[int, ...]
+
+    def contains(self, value: np.ndarray) -> bool:
+        value = np.asarray(value)
+        return (
+            value.shape == self.shape
+            and bool(np.all(value >= self.low))
+            and bool(np.all(value <= self.high))
+        )
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=self.shape)
+
+
+@dataclass(frozen=True)
+class TupleSpace:
+    """A tuple of component spaces (used for the NeuroCuts action space)."""
+
+    spaces: Tuple[Discrete, ...]
+
+    def contains(self, value: Sequence[int]) -> bool:
+        if len(value) != len(self.spaces):
+            return False
+        return all(space.contains(v) for space, v in zip(self.spaces, value))
+
+    def sample(self, rng: np.random.Generator) -> Tuple[int, ...]:
+        return tuple(space.sample(rng) for space in self.spaces)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """Number of categories per component."""
+        return tuple(space.n for space in self.spaces)

@@ -1,0 +1,161 @@
+"""Packet header field (dimension) definitions.
+
+Packet classification in this paper is five-dimensional: source and
+destination IPv4 addresses, source and destination transport ports, and the
+IP protocol number.  Every rule and every tree node is described by one
+half-open integer range ``[lo, hi)`` per dimension.
+
+The half-open convention matches the reference NeuroCuts implementation and
+makes equal-size cuts exact: cutting ``[0, 2**32)`` into four pieces yields
+four ranges that tile the space with no off-by-one adjustments.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from repro.exceptions import InvalidRangeError
+
+
+class Dimension(enum.IntEnum):
+    """The five packet header dimensions, in canonical order."""
+
+    SRC_IP = 0
+    DST_IP = 1
+    SRC_PORT = 2
+    DST_PORT = 3
+    PROTOCOL = 4
+
+    @property
+    def bits(self) -> int:
+        """Number of bits in this field."""
+        return FIELD_BITS[self]
+
+    @property
+    def size(self) -> int:
+        """Number of distinct values in this field (``2 ** bits``)."""
+        return 1 << FIELD_BITS[self]
+
+
+#: Number of dimensions used for classification (d = 5 in the paper).
+NUM_DIMENSIONS = 5
+
+#: Bit width of each dimension.
+FIELD_BITS = {
+    Dimension.SRC_IP: 32,
+    Dimension.DST_IP: 32,
+    Dimension.SRC_PORT: 16,
+    Dimension.DST_PORT: 16,
+    Dimension.PROTOCOL: 8,
+}
+
+#: The full half-open range covered by each dimension.
+FIELD_RANGES: dict[Dimension, Tuple[int, int]] = {
+    dim: (0, 1 << bits) for dim, bits in FIELD_BITS.items()
+}
+
+#: Tuple of all dimensions in canonical order, for iteration.
+DIMENSIONS: Tuple[Dimension, ...] = tuple(Dimension)
+
+#: The full 5-dimensional space as a tuple of ranges (used for tree roots).
+FULL_SPACE: Tuple[Tuple[int, int], ...] = tuple(FIELD_RANGES[d] for d in DIMENSIONS)
+
+Range = Tuple[int, int]
+Ranges = Tuple[Range, ...]
+
+
+def validate_range(dim: Dimension, lo: int, hi: int) -> Range:
+    """Validate a half-open range for ``dim`` and return it as a tuple.
+
+    Raises:
+        InvalidRangeError: if ``lo >= hi`` or the range exceeds field bounds.
+    """
+    field_lo, field_hi = FIELD_RANGES[dim]
+    if lo >= hi:
+        raise InvalidRangeError(
+            f"empty range [{lo}, {hi}) for dimension {dim.name}"
+        )
+    if lo < field_lo or hi > field_hi:
+        raise InvalidRangeError(
+            f"range [{lo}, {hi}) out of bounds for dimension {dim.name}: "
+            f"allowed [{field_lo}, {field_hi})"
+        )
+    return (int(lo), int(hi))
+
+
+def prefix_to_range(value: int, prefix_len: int, bits: int = 32) -> Range:
+    """Convert a prefix match (``value/prefix_len``) to a half-open range.
+
+    Args:
+        value: the (already masked or unmasked) field value.
+        prefix_len: number of leading bits that must match.
+        bits: total bit width of the field.
+
+    Returns:
+        The half-open range of values matching the prefix.
+    """
+    if not 0 <= prefix_len <= bits:
+        raise InvalidRangeError(
+            f"prefix length {prefix_len} out of bounds for {bits}-bit field"
+        )
+    span = 1 << (bits - prefix_len)
+    lo = (value >> (bits - prefix_len) << (bits - prefix_len)) if prefix_len else 0
+    return (lo, lo + span)
+
+
+def range_to_prefix(lo: int, hi: int, bits: int = 32) -> Tuple[int, int]:
+    """Convert a half-open range back to a ``(value, prefix_len)`` pair.
+
+    Only ranges that are exactly expressible as a single prefix are accepted.
+
+    Raises:
+        InvalidRangeError: if the range is not a power-of-two aligned block.
+    """
+    span = hi - lo
+    if span <= 0 or span & (span - 1):
+        raise InvalidRangeError(f"range [{lo}, {hi}) is not a prefix block")
+    prefix_len = bits - span.bit_length() + 1
+    if lo & (span - 1):
+        raise InvalidRangeError(f"range [{lo}, {hi}) is not prefix aligned")
+    return lo, prefix_len
+
+
+def ip_to_int(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer."""
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise InvalidRangeError(f"malformed IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise InvalidRangeError(f"malformed IPv4 address: {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format an integer as a dotted-quad IPv4 address."""
+    if not 0 <= value < (1 << 32):
+        raise InvalidRangeError(f"IPv4 value out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def range_overlap(a: Range, b: Range) -> bool:
+    """Return True if two half-open ranges intersect."""
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def range_contains(outer: Range, inner: Range) -> bool:
+    """Return True if ``outer`` fully contains ``inner``."""
+    return outer[0] <= inner[0] and inner[1] <= outer[1]
+
+
+def range_intersection(a: Range, b: Range) -> Range | None:
+    """Return the intersection of two half-open ranges, or None if disjoint."""
+    lo = max(a[0], b[0])
+    hi = min(a[1], b[1])
+    if lo >= hi:
+        return None
+    return (lo, hi)

@@ -1,0 +1,116 @@
+"""ClassBench filter-file I/O.
+
+ClassBench filter files (the ``@`` format) look like::
+
+    @192.168.0.0/16  10.0.0.0/8  0 : 65535  80 : 80  0x06/0xFF
+
+with one rule per line: source prefix, destination prefix, source port range,
+destination port range, and protocol value/mask.  Rules appear highest
+priority first.  This module parses and emits that format so externally
+generated ClassBench rule sets can be loaded directly.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.exceptions import RuleFormatError
+from repro.rules.fields import Dimension, FIELD_RANGES
+from repro.rules.rule import Rule, parse_prefix
+from repro.rules.ruleset import RuleSet
+
+_PORT_RANGE_RE = re.compile(r"^\s*(\d+)\s*:\s*(\d+)\s*$")
+_PROTO_RE = re.compile(r"^\s*(0x[0-9a-fA-F]+|\d+)\s*/\s*(0x[0-9a-fA-F]+|\d+)\s*$")
+
+
+def parse_rule_line(line: str, priority: int = 0, name: str = "") -> Rule:
+    """Parse one ClassBench filter line into a :class:`Rule`.
+
+    Trailing extra fields (some ClassBench variants append flags) are ignored.
+    """
+    text = line.strip()
+    if text.startswith("@"):
+        text = text[1:]
+    fields = [f for f in re.split(r"\t+|\s{2,}", text) if f.strip()]
+    if len(fields) < 5:
+        # Fall back to whitespace-splitting into positional tokens.
+        tokens = text.split()
+        if len(tokens) < 9:
+            raise RuleFormatError(f"malformed ClassBench rule line: {line!r}")
+        fields = [
+            tokens[0],
+            tokens[1],
+            f"{tokens[2]} : {tokens[4]}",
+            f"{tokens[5]} : {tokens[7]}",
+            tokens[8],
+        ]
+
+    src_prefix, dst_prefix, sport_text, dport_text, proto_text = fields[:5]
+
+    src_ip = parse_prefix(src_prefix, bits=32)
+    dst_ip = parse_prefix(dst_prefix, bits=32)
+    src_port = _parse_port_range(sport_text)
+    dst_port = _parse_port_range(dport_text)
+    protocol = _parse_protocol(proto_text)
+
+    return Rule(
+        ranges=(src_ip, dst_ip, src_port, dst_port, protocol),
+        priority=priority,
+        name=name,
+    )
+
+
+def _parse_port_range(text: str):
+    match = _PORT_RANGE_RE.match(text)
+    if not match:
+        raise RuleFormatError(f"malformed port range: {text!r}")
+    lo, hi = int(match.group(1)), int(match.group(2))
+    if hi < lo:
+        raise RuleFormatError(f"inverted port range: {text!r}")
+    return (lo, hi + 1)
+
+
+def _parse_protocol(text: str):
+    match = _PROTO_RE.match(text)
+    if not match:
+        raise RuleFormatError(f"malformed protocol field: {text!r}")
+    value = int(match.group(1), 0)
+    mask = int(match.group(2), 0)
+    if mask == 0:
+        return FIELD_RANGES[Dimension.PROTOCOL]
+    return (value & 0xFF, (value & 0xFF) + 1)
+
+
+def loads(text: str, name: str = "") -> RuleSet:
+    """Parse a whole ClassBench filter file from a string."""
+    lines = [ln for ln in text.splitlines() if ln.strip() and not ln.startswith("#")]
+    if not lines:
+        raise RuleFormatError("rule file contains no rules")
+    rules = [
+        parse_rule_line(line, priority=len(lines) - i, name=f"r{i}")
+        for i, line in enumerate(lines)
+    ]
+    return RuleSet(rules, name=name)
+
+
+def load(path: Union[str, Path]) -> RuleSet:
+    """Load a ClassBench filter file from disk."""
+    path = Path(path)
+    return loads(path.read_text(), name=path.stem)
+
+
+def dumps(ruleset: RuleSet) -> str:
+    """Serialise a classifier to ClassBench filter-file text."""
+    return "\n".join(rule.to_classbench() for rule in ruleset) + "\n"
+
+
+def dump(ruleset: RuleSet, path: Union[str, Path]) -> None:
+    """Write a classifier to disk in ClassBench filter-file format."""
+    Path(path).write_text(dumps(ruleset))
+
+
+def load_many(paths: Iterable[Union[str, Path]]) -> List[RuleSet]:
+    """Load several filter files, preserving order."""
+    return [load(p) for p in paths]

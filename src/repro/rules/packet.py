@@ -1,0 +1,85 @@
+"""Packet header representation.
+
+A packet, for classification purposes, is just the 5-tuple of header values
+the classifier examines: source IP, destination IP, source port, destination
+port, and protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.exceptions import InvalidRangeError
+from repro.rules.fields import (
+    DIMENSIONS,
+    FIELD_RANGES,
+    Dimension,
+    int_to_ip,
+    ip_to_int,
+)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An immutable 5-tuple packet header.
+
+    Attributes:
+        src_ip: 32-bit source IPv4 address as an integer.
+        dst_ip: 32-bit destination IPv4 address as an integer.
+        src_port: 16-bit source port.
+        dst_port: 16-bit destination port.
+        protocol: 8-bit IP protocol number.
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def __post_init__(self) -> None:
+        for dim, value in zip(DIMENSIONS, self.as_tuple()):
+            lo, hi = FIELD_RANGES[dim]
+            if not lo <= value < hi:
+                raise InvalidRangeError(
+                    f"packet field {dim.name}={value} out of range [{lo}, {hi})"
+                )
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        """Return the header values in canonical dimension order."""
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.protocol)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.as_tuple())
+
+    def __getitem__(self, dim: Dimension | int) -> int:
+        return self.as_tuple()[int(dim)]
+
+    @classmethod
+    def from_values(cls, values: Tuple[int, ...]) -> "Packet":
+        """Build a packet from a 5-element tuple in canonical order."""
+        if len(values) != len(DIMENSIONS):
+            raise InvalidRangeError(
+                f"expected {len(DIMENSIONS)} header values, got {len(values)}"
+            )
+        return cls(*[int(v) for v in values])
+
+    @classmethod
+    def from_strings(
+        cls,
+        src_ip: str,
+        dst_ip: str,
+        src_port: int,
+        dst_port: int,
+        protocol: int,
+    ) -> "Packet":
+        """Build a packet from dotted-quad IP strings and integer fields."""
+        return cls(ip_to_int(src_ip), ip_to_int(dst_ip), src_port, dst_port, protocol)
+
+    def pretty(self) -> str:
+        """Human-readable representation with dotted-quad addresses."""
+        return (
+            f"{int_to_ip(self.src_ip)} -> {int_to_ip(self.dst_ip)} "
+            f"sport={self.src_port} dport={self.dst_port} proto={self.protocol}"
+        )

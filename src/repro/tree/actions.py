@@ -1,0 +1,148 @@
+"""Tree-building actions: cuts and partitions.
+
+The paper's environment exposes two kinds of action on a tree node:
+
+* a **cut** splits the node's box along one dimension into a fixed number of
+  equal sub-ranges (2, 4, 8, 16 or 32), creating one child per sub-range;
+* a **partition** splits the node's *rules* into disjoint subsets (by a
+  per-dimension coverage threshold, or by the EffiCuts separability
+  categories), creating one child per non-empty subset with the same box.
+
+Baselines additionally use multi-dimensional cuts (HyperCuts) and
+unequal "split" cuts at an arbitrary point (HyperSplit / CutSplit), so the
+tree engine supports those action types as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.exceptions import InvalidActionError
+from repro.rules.fields import Dimension
+
+#: The cut fan-outs NeuroCuts may choose from (Section 4.1).
+CUT_SIZES: Tuple[int, ...] = (2, 4, 8, 16, 32)
+
+#: Discrete coverage-threshold levels for the simple partition action
+#: (Appendix A: 0 %, 2 %, 4 %, 8 %, 16 %, 32 %, 64 %, 100 %).
+PARTITION_LEVELS: Tuple[float, ...] = (0.0, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0)
+
+
+class Action:
+    """Marker base class for all tree-building actions."""
+
+    def describe(self) -> str:
+        """Short human-readable description used in logs and visualisations."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CutAction(Action):
+    """Equal-width cut of one dimension into ``num_cuts`` sub-ranges."""
+
+    dimension: Dimension
+    num_cuts: int
+
+    def __post_init__(self) -> None:
+        if self.num_cuts < 2:
+            raise InvalidActionError(
+                f"cut must create at least 2 children, got {self.num_cuts}"
+            )
+
+    def describe(self) -> str:
+        return f"cut({self.dimension.name}, {self.num_cuts})"
+
+
+@dataclass(frozen=True)
+class MultiCutAction(Action):
+    """Simultaneous equal-width cuts along several dimensions (HyperCuts).
+
+    The children enumerate the cross product of the per-dimension sub-ranges.
+    """
+
+    cuts: Tuple[Tuple[Dimension, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.cuts:
+            raise InvalidActionError("multi-cut needs at least one dimension")
+        dims = [d for d, _ in self.cuts]
+        if len(dims) != len(set(dims)):
+            raise InvalidActionError("multi-cut dimensions must be distinct")
+        for _, n in self.cuts:
+            if n < 2:
+                raise InvalidActionError("each multi-cut dimension needs >= 2 cuts")
+
+    @property
+    def total_children(self) -> int:
+        total = 1
+        for _, n in self.cuts:
+            total *= n
+        return total
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{d.name}:{n}" for d, n in self.cuts)
+        return f"multicut({inner})"
+
+
+@dataclass(frozen=True)
+class SplitAction(Action):
+    """Binary split of one dimension at an arbitrary point (HyperSplit-style).
+
+    Creates exactly two children: ``[lo, split_point)`` and
+    ``[split_point, hi)``.
+    """
+
+    dimension: Dimension
+    split_point: int
+
+    def describe(self) -> str:
+        return f"split({self.dimension.name}, {self.split_point})"
+
+
+@dataclass(frozen=True)
+class PartitionAction(Action):
+    """Simple partition: separate rules by coverage fraction in one dimension.
+
+    Rules whose coverage fraction along ``dimension`` is strictly greater
+    than ``threshold`` go into the "large" child; the rest go into the
+    "small" child.  Both children keep the parent's box.
+    """
+
+    dimension: Dimension
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise InvalidActionError(
+                f"partition threshold must be in [0, 1], got {self.threshold}"
+            )
+
+    def describe(self) -> str:
+        return f"partition({self.dimension.name}, >{self.threshold:.0%})"
+
+
+@dataclass(frozen=True)
+class EffiCutsPartitionAction(Action):
+    """Partition rules into EffiCuts separable categories.
+
+    EffiCuts groups rules by which subset of dimensions they are "large" in
+    (coverage fraction above ``largeness_threshold``), building one tree per
+    non-empty category.  Used as a top-node partition action in NeuroCuts
+    (Section 4.2, "Incorporating existing heuristics").
+    """
+
+    largeness_threshold: float = 0.5
+
+    def describe(self) -> str:
+        return f"efficuts_partition(>{self.largeness_threshold:.0%})"
+
+
+def is_partition(action: Action) -> bool:
+    """Return True for actions that partition rules rather than cut space."""
+    return isinstance(action, (PartitionAction, EffiCutsPartitionAction))
+
+
+def is_cut(action: Action) -> bool:
+    """Return True for actions that cut a node's box."""
+    return isinstance(action, (CutAction, MultiCutAction, SplitAction))

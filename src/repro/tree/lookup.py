@@ -1,0 +1,106 @@
+"""Packet classification over one or many decision trees.
+
+Rule partitioning (EffiCuts-style or NeuroCuts' top-node partition action)
+produces *several* trees for one classifier.  A packet must be classified
+against every tree and the highest-priority match wins (Section 2.2).  The
+:class:`TreeClassifier` wraps that logic and exposes aggregate time/space
+statistics consistent with :mod:`repro.tree.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.rules.packet import Packet
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+from repro.tree.stats import TreeStats, compute_stats
+from repro.tree.tree import DecisionTree
+
+
+@dataclass(frozen=True)
+class ClassifierStats:
+    """Aggregate statistics over all trees of a (possibly partitioned) classifier."""
+
+    classification_time: int
+    memory_bytes: int
+    bytes_per_rule: float
+    num_trees: int
+    num_nodes: int
+    depth: int
+
+    def as_dict(self) -> dict:
+        return {
+            "classification_time": self.classification_time,
+            "memory_bytes": self.memory_bytes,
+            "bytes_per_rule": self.bytes_per_rule,
+            "num_trees": self.num_trees,
+            "num_nodes": self.num_nodes,
+            "depth": self.depth,
+        }
+
+
+class TreeClassifier:
+    """A complete classifier made of one or more decision trees."""
+
+    def __init__(self, ruleset: RuleSet, trees: Sequence[DecisionTree],
+                 name: str = "") -> None:
+        if not trees:
+            raise ValueError("a TreeClassifier needs at least one tree")
+        self.ruleset = ruleset
+        self.trees: List[DecisionTree] = list(trees)
+        self.name = name or ruleset.name
+
+    def classify(self, packet: Packet) -> Optional[Rule]:
+        """Classify against every tree and return the best-priority match."""
+        best: Optional[Rule] = None
+        for tree in self.trees:
+            match = tree.classify(packet)
+            if match is not None and (best is None or match.priority > best.priority):
+                best = match
+        return best
+
+    def classify_batch(self, packets: Iterable[Packet]) -> List[Optional[Rule]]:
+        """Classify a sequence of packets."""
+        return [self.classify(p) for p in packets]
+
+    def per_tree_stats(self) -> List[TreeStats]:
+        """Statistics of each individual tree."""
+        return [compute_stats(tree) for tree in self.trees]
+
+    def stats(self) -> ClassifierStats:
+        """Aggregate statistics of the whole classifier.
+
+        Classification time sums across trees (each is queried), memory sums,
+        and bytes-per-rule is normalised by the original rule count.
+        """
+        per_tree = self.per_tree_stats()
+        total_time = sum(s.classification_time for s in per_tree)
+        total_space = sum(s.memory_bytes for s in per_tree)
+        return ClassifierStats(
+            classification_time=total_time,
+            memory_bytes=total_space,
+            bytes_per_rule=total_space / max(1, len(self.ruleset)),
+            num_trees=len(self.trees),
+            num_nodes=sum(s.num_nodes for s in per_tree),
+            depth=max(s.depth for s in per_tree),
+        )
+
+    def validate(self, packets: Iterable[Packet]) -> Tuple[int, int]:
+        """Compare against linear search over a packet sample.
+
+        Returns ``(num_checked, num_mismatches)``; a correct classifier always
+        reports zero mismatches.
+        """
+        checked = 0
+        mismatches = 0
+        for packet in packets:
+            expected = self.ruleset.classify(packet)
+            actual = self.classify(packet)
+            checked += 1
+            expected_prio = expected.priority if expected else None
+            actual_prio = actual.priority if actual else None
+            if expected_prio != actual_prio:
+                mismatches += 1
+        return checked, mismatches

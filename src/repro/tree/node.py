@@ -1,0 +1,311 @@
+"""Decision-tree node.
+
+A node owns a box (one half-open range per dimension), the rules intersecting
+that box, its depth, and — once an action has been applied to it — the action
+and the resulting children.  Partition children keep their parent's box but a
+restricted *partition state*: per-dimension coverage bounds that tell the
+NeuroCuts agent which "shape" of rules live below this node (Appendix A).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidActionError
+from repro.rules.fields import DIMENSIONS, Dimension, Range, Ranges
+from repro.rules.rule import Rule
+from repro.tree.actions import (
+    Action,
+    CutAction,
+    EffiCutsPartitionAction,
+    MultiCutAction,
+    PARTITION_LEVELS,
+    PartitionAction,
+    SplitAction,
+    is_partition,
+)
+
+_node_counter = itertools.count()
+
+#: Full partition state: rules of any coverage may be present (levels 0..100%).
+FULL_PARTITION_STATE: Tuple[Tuple[int, int], ...] = tuple(
+    (0, len(PARTITION_LEVELS) - 1) for _ in DIMENSIONS
+)
+
+
+@dataclass
+class Node:
+    """A single node of a packet-classification decision tree.
+
+    Attributes:
+        ranges: the box this node covers, one half-open range per dimension.
+        rules: rules intersecting the box, highest priority first.
+        depth: root has depth 0.
+        partition_state: per-dimension (min_level, max_level) indices into
+            :data:`PARTITION_LEVELS`, describing which coverage fractions of
+            rules may appear in this node after partition actions above it.
+        efficuts_category: index of the EffiCuts separable category this node
+            was assigned by an EffiCuts partition, or ``None``.
+        action: the action applied to this node (``None`` while it is a leaf).
+        children: child nodes created by ``action``.
+        forced_leaf: True if tree construction terminated this node early
+            (depth truncation), regardless of how many rules it still holds.
+    """
+
+    ranges: Ranges
+    rules: List[Rule]
+    depth: int = 0
+    partition_state: Tuple[Tuple[int, int], ...] = FULL_PARTITION_STATE
+    efficuts_category: Optional[int] = None
+    action: Optional[Action] = None
+    children: List["Node"] = field(default_factory=list)
+    forced_leaf: bool = False
+    node_id: int = field(default_factory=lambda: next(_node_counter))
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_rules(self) -> int:
+        """Number of rules stored at this node."""
+        return len(self.rules)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True if no action has been applied to this node."""
+        return self.action is None
+
+    @property
+    def is_partition_node(self) -> bool:
+        """True if the applied action partitions rules instead of cutting."""
+        return self.action is not None and is_partition(self.action)
+
+    def is_terminal(self, leaf_threshold: int) -> bool:
+        """True if this node needs no further splitting."""
+        return self.forced_leaf or self.num_rules <= leaf_threshold
+
+    def contains_packet(self, values: Sequence[int]) -> bool:
+        """True if the packet header values fall inside this node's box."""
+        for value, (lo, hi) in zip(values, self.ranges):
+            if not lo <= value < hi:
+                return False
+        return True
+
+    def range_for(self, dim: Dimension | int) -> Range:
+        """This node's range along one dimension."""
+        return self.ranges[int(dim)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Node(id={self.node_id}, depth={self.depth}, rules={self.num_rules}, "
+            f"children={len(self.children)}, "
+            f"action={self.action.describe() if self.action else None})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Applying actions
+    # ------------------------------------------------------------------ #
+
+    def apply(self, action: Action, *, prune_redundant: bool = True) -> List["Node"]:
+        """Apply an action to this node, creating and returning its children.
+
+        Raises:
+            InvalidActionError: if an action has already been applied, or the
+                action cannot produce at least two children on this node.
+        """
+        if self.action is not None:
+            raise InvalidActionError(f"node {self.node_id} already has an action")
+        if isinstance(action, CutAction):
+            children = self._apply_cut(action, prune_redundant)
+        elif isinstance(action, MultiCutAction):
+            children = self._apply_multicut(action, prune_redundant)
+        elif isinstance(action, SplitAction):
+            children = self._apply_split(action, prune_redundant)
+        elif isinstance(action, PartitionAction):
+            children = self._apply_partition(action)
+        elif isinstance(action, EffiCutsPartitionAction):
+            children = self._apply_efficuts_partition(action)
+        else:
+            raise InvalidActionError(f"unsupported action type: {type(action)!r}")
+
+        self.action = action
+        self.children = children
+        return children
+
+    # -- cut-family actions --------------------------------------------- #
+
+    def cut_ranges(self, dimension: Dimension, num_cuts: int) -> List[Range]:
+        """Compute the equal sub-ranges a cut would produce (may be < num_cuts
+        when the node's range has fewer distinct values than requested cuts)."""
+        lo, hi = self.ranges[int(dimension)]
+        span = hi - lo
+        effective = min(num_cuts, span)
+        if effective < 2:
+            raise InvalidActionError(
+                f"cannot cut dimension {dimension.name} of width {span}"
+            )
+        # Distribute the span as evenly as integer arithmetic allows.
+        base = span // effective
+        remainder = span % effective
+        ranges = []
+        start = lo
+        for i in range(effective):
+            width = base + (1 if i < remainder else 0)
+            ranges.append((start, start + width))
+            start += width
+        return ranges
+
+    def _child_from_box(self, ranges: Ranges, prune_redundant: bool) -> "Node":
+        rules = [r for r in self.rules if r.intersects(ranges)]
+        if prune_redundant:
+            rules = remove_redundant_rules(rules, ranges)
+        return Node(
+            ranges=ranges,
+            rules=rules,
+            depth=self.depth + 1,
+            partition_state=self.partition_state,
+            efficuts_category=self.efficuts_category,
+        )
+
+    def _apply_cut(self, action: CutAction, prune_redundant: bool) -> List["Node"]:
+        sub_ranges = self.cut_ranges(action.dimension, action.num_cuts)
+        children = []
+        for sub in sub_ranges:
+            box = list(self.ranges)
+            box[int(action.dimension)] = sub
+            children.append(self._child_from_box(tuple(box), prune_redundant))
+        return children
+
+    def _apply_multicut(self, action: MultiCutAction,
+                        prune_redundant: bool) -> List["Node"]:
+        per_dim_ranges = []
+        for dim, n in action.cuts:
+            per_dim_ranges.append((dim, self.cut_ranges(dim, n)))
+        children = []
+        for combo in itertools.product(*[ranges for _, ranges in per_dim_ranges]):
+            box = list(self.ranges)
+            for (dim, _), sub in zip(per_dim_ranges, combo):
+                box[int(dim)] = sub
+            children.append(self._child_from_box(tuple(box), prune_redundant))
+        return children
+
+    def _apply_split(self, action: SplitAction, prune_redundant: bool) -> List["Node"]:
+        lo, hi = self.ranges[int(action.dimension)]
+        point = action.split_point
+        if not lo < point < hi:
+            raise InvalidActionError(
+                f"split point {point} outside node range [{lo}, {hi})"
+            )
+        children = []
+        for sub in ((lo, point), (point, hi)):
+            box = list(self.ranges)
+            box[int(action.dimension)] = sub
+            children.append(self._child_from_box(tuple(box), prune_redundant))
+        return children
+
+    # -- partition-family actions ---------------------------------------- #
+
+    def _apply_partition(self, action: PartitionAction) -> List["Node"]:
+        small, large = [], []
+        for rule in self.rules:
+            if rule.coverage_fraction(action.dimension) > action.threshold:
+                large.append(rule)
+            else:
+                small.append(rule)
+        if not small or not large:
+            raise InvalidActionError(
+                "partition does not separate rules into two non-empty groups"
+            )
+        threshold_level = _nearest_level(action.threshold)
+        dim = int(action.dimension)
+        children = []
+        for rules, bounds in (
+            (small, (0, threshold_level)),
+            (large, (threshold_level, len(PARTITION_LEVELS) - 1)),
+        ):
+            state = list(self.partition_state)
+            state[dim] = bounds
+            children.append(
+                Node(
+                    ranges=self.ranges,
+                    rules=list(rules),
+                    depth=self.depth + 1,
+                    partition_state=tuple(state),
+                    efficuts_category=self.efficuts_category,
+                )
+            )
+        return children
+
+    def _apply_efficuts_partition(self,
+                                  action: EffiCutsPartitionAction) -> List["Node"]:
+        categories = efficuts_categories(self.rules, action.largeness_threshold)
+        non_empty = [(idx, rules) for idx, rules in enumerate(categories) if rules]
+        if len(non_empty) < 2:
+            raise InvalidActionError(
+                "EffiCuts partition produces fewer than two non-empty categories"
+            )
+        children = []
+        for idx, rules in non_empty:
+            children.append(
+                Node(
+                    ranges=self.ranges,
+                    rules=list(rules),
+                    depth=self.depth + 1,
+                    partition_state=self.partition_state,
+                    efficuts_category=idx,
+                )
+            )
+        return children
+
+
+def _nearest_level(threshold: float) -> int:
+    """Index of the discrete partition level closest to ``threshold``."""
+    return min(
+        range(len(PARTITION_LEVELS)),
+        key=lambda i: abs(PARTITION_LEVELS[i] - threshold),
+    )
+
+
+def efficuts_categories(rules: Sequence[Rule],
+                        largeness_threshold: float = 0.5) -> List[List[Rule]]:
+    """Group rules into EffiCuts separable categories.
+
+    A rule is "large" in a dimension if its coverage fraction there exceeds
+    the threshold.  The category index is the bitmask of large dimensions, so
+    rules with the same shape end up in the same tree and replication from
+    wildcard-ish fields is avoided.
+    """
+    num_categories = 1 << len(DIMENSIONS)
+    buckets: List[List[Rule]] = [[] for _ in range(num_categories)]
+    for rule in rules:
+        mask = 0
+        for dim in DIMENSIONS:
+            if rule.coverage_fraction(dim) > largeness_threshold:
+                mask |= 1 << int(dim)
+        buckets[mask].append(rule)
+    return buckets
+
+
+def remove_redundant_rules(rules: Sequence[Rule], box: Ranges) -> List[Rule]:
+    """Drop rules that can never win inside ``box``.
+
+    Within the box, a rule is redundant if a higher-priority rule's
+    intersection with the box fully covers its own intersection with the box.
+    This is the standard rule-overlap pruning used by HiCuts-family builders;
+    it only removes rules that are unreachable, so classification results are
+    unchanged.
+    """
+    kept: List[Rule] = []
+    clipped_kept: List[Rule] = []
+    for rule in rules:  # rules arrive highest priority first
+        clipped = rule.clip_to(box)
+        if clipped is None:
+            continue
+        if any(higher.covers(clipped) for higher in clipped_kept):
+            continue
+        kept.append(rule)
+        clipped_kept.append(clipped)
+    return kept

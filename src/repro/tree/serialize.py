@@ -1,0 +1,142 @@
+"""Decision-tree serialization.
+
+Trees are converted to plain dictionaries (and JSON) so trained NeuroCuts
+trees can be saved, inspected, diffed between runs, or loaded into another
+process for deployment without retraining.  Rules are referenced by their
+priority, which is unique inside a :class:`~repro.rules.ruleset.RuleSet`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import TreeError
+from repro.rules.fields import Dimension
+from repro.rules.ruleset import RuleSet
+from repro.tree.actions import (
+    Action,
+    CutAction,
+    EffiCutsPartitionAction,
+    MultiCutAction,
+    PartitionAction,
+    SplitAction,
+)
+from repro.tree.node import Node
+from repro.tree.tree import DecisionTree
+
+
+def action_to_dict(action: Action) -> Dict:
+    """Serialise an action to a plain dict."""
+    if isinstance(action, CutAction):
+        return {"type": "cut", "dimension": int(action.dimension),
+                "num_cuts": action.num_cuts}
+    if isinstance(action, MultiCutAction):
+        return {"type": "multicut",
+                "cuts": [[int(d), n] for d, n in action.cuts]}
+    if isinstance(action, SplitAction):
+        return {"type": "split", "dimension": int(action.dimension),
+                "split_point": action.split_point}
+    if isinstance(action, PartitionAction):
+        return {"type": "partition", "dimension": int(action.dimension),
+                "threshold": action.threshold}
+    if isinstance(action, EffiCutsPartitionAction):
+        return {"type": "efficuts_partition",
+                "largeness_threshold": action.largeness_threshold}
+    raise TreeError(f"cannot serialise action of type {type(action)!r}")
+
+
+def action_from_dict(data: Dict) -> Action:
+    """Reconstruct an action from its dict form."""
+    kind = data["type"]
+    if kind == "cut":
+        return CutAction(Dimension(data["dimension"]), data["num_cuts"])
+    if kind == "multicut":
+        return MultiCutAction(tuple((Dimension(d), n) for d, n in data["cuts"]))
+    if kind == "split":
+        return SplitAction(Dimension(data["dimension"]), data["split_point"])
+    if kind == "partition":
+        return PartitionAction(Dimension(data["dimension"]), data["threshold"])
+    if kind == "efficuts_partition":
+        return EffiCutsPartitionAction(data["largeness_threshold"])
+    raise TreeError(f"unknown action type {kind!r}")
+
+
+def _node_to_dict(node: Node) -> Dict:
+    return {
+        "ranges": [list(r) for r in node.ranges],
+        "rule_priorities": [rule.priority for rule in node.rules],
+        "depth": node.depth,
+        "forced_leaf": node.forced_leaf,
+        "efficuts_category": node.efficuts_category,
+        "partition_state": [list(p) for p in node.partition_state],
+        "action": action_to_dict(node.action) if node.action else None,
+        "children": [_node_to_dict(child) for child in node.children],
+    }
+
+
+def tree_to_dict(tree: DecisionTree) -> Dict:
+    """Serialise a whole tree (structure + parameters) to a dict."""
+    return {
+        "leaf_threshold": tree.leaf_threshold,
+        "max_depth": tree.max_depth,
+        "ruleset_name": tree.ruleset.name,
+        "num_rules": len(tree.ruleset),
+        "root": _node_to_dict(tree.root),
+    }
+
+
+def _node_from_dict(data: Dict, rules_by_priority: Dict[int, object]) -> Node:
+    node = Node(
+        ranges=tuple(tuple(r) for r in data["ranges"]),
+        rules=[rules_by_priority[p] for p in data["rule_priorities"]],
+        depth=data["depth"],
+        partition_state=tuple(tuple(p) for p in data["partition_state"]),
+        efficuts_category=data["efficuts_category"],
+        forced_leaf=data["forced_leaf"],
+    )
+    if data["action"] is not None:
+        node.action = action_from_dict(data["action"])
+        node.children = [
+            _node_from_dict(child, rules_by_priority) for child in data["children"]
+        ]
+    return node
+
+
+def tree_from_dict(data: Dict, ruleset: RuleSet) -> DecisionTree:
+    """Reconstruct a tree against the classifier it was built for."""
+    rules_by_priority = {rule.priority: rule for rule in ruleset}
+    missing = set()
+    for priority in _collect_priorities(data["root"]):
+        if priority not in rules_by_priority:
+            missing.add(priority)
+    if missing:
+        raise TreeError(
+            f"serialized tree references unknown rule priorities: {sorted(missing)[:5]}"
+        )
+    tree = DecisionTree(
+        ruleset,
+        leaf_threshold=data["leaf_threshold"],
+        max_depth=data["max_depth"],
+    )
+    tree.root = _node_from_dict(data["root"], rules_by_priority)
+    tree._frontier = []
+    return tree
+
+
+def _collect_priorities(node_data: Dict) -> List[int]:
+    priorities = list(node_data["rule_priorities"])
+    for child in node_data["children"]:
+        priorities.extend(_collect_priorities(child))
+    return priorities
+
+
+def save_tree(tree: DecisionTree, path: Union[str, Path]) -> None:
+    """Write a tree to disk as JSON."""
+    Path(path).write_text(json.dumps(tree_to_dict(tree)))
+
+
+def load_tree(path: Union[str, Path], ruleset: RuleSet) -> DecisionTree:
+    """Load a tree from JSON produced by :func:`save_tree`."""
+    return tree_from_dict(json.loads(Path(path).read_text()), ruleset)

@@ -1,0 +1,252 @@
+"""The decision tree and its construction state machine.
+
+A :class:`DecisionTree` starts as a single root node holding every rule and
+the full header space.  Builders (NeuroCuts or the baseline heuristics)
+repeatedly ask for the next unfinished node (depth-first order, as in
+Algorithm 1's ``GrowTreeDFS``) and apply an action to it, until every leaf is
+terminal — i.e. holds at most ``leaf_threshold`` rules — or construction is
+truncated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import InvalidActionError, TreeError
+from repro.rules.fields import DIMENSIONS, FULL_SPACE, Ranges
+from repro.rules.packet import Packet
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+from repro.tree.actions import Action
+from repro.tree.node import Node
+
+#: Default maximum number of rules a terminal leaf may hold (binth in HiCuts).
+DEFAULT_LEAF_THRESHOLD = 16
+
+
+class DecisionTree:
+    """A packet-classification decision tree under construction or complete.
+
+    Args:
+        ruleset: the classifier the tree is being built for.
+        leaf_threshold: maximum rules per terminal leaf ("binth").
+        max_depth: optional depth truncation; nodes at this depth are forced
+            to become leaves even if they still hold too many rules.
+        prune_redundant: whether to drop rules that cannot win inside a
+            child's box when cutting (standard overlap pruning).
+        root_ranges: box of the root node (defaults to the full 5-d space);
+            partitioned classifiers build one tree per partition, each with
+            the full space but a subset of the rules.
+        rules: optional explicit rule list for the root (defaults to all
+            rules of ``ruleset``).
+    """
+
+    def __init__(
+        self,
+        ruleset: RuleSet,
+        leaf_threshold: int = DEFAULT_LEAF_THRESHOLD,
+        max_depth: Optional[int] = None,
+        prune_redundant: bool = True,
+        root_ranges: Optional[Ranges] = None,
+        rules: Optional[List[Rule]] = None,
+    ) -> None:
+        if leaf_threshold < 1:
+            raise TreeError("leaf_threshold must be >= 1")
+        self.ruleset = ruleset
+        self.leaf_threshold = leaf_threshold
+        self.max_depth = max_depth
+        self.prune_redundant = prune_redundant
+        root_rules = list(rules) if rules is not None else list(ruleset.rules)
+        self.root = Node(
+            ranges=root_ranges or FULL_SPACE,
+            rules=root_rules,
+            depth=0,
+        )
+        # Depth-first frontier of nodes that still need an action.
+        self._frontier: List[Node] = []
+        self._push_if_unfinished(self.root)
+        self._num_actions = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction state machine
+    # ------------------------------------------------------------------ #
+
+    def _push_if_unfinished(self, node: Node) -> None:
+        if node.is_terminal(self.leaf_threshold):
+            return
+        if self.max_depth is not None and node.depth >= self.max_depth:
+            node.forced_leaf = True
+            return
+        self._frontier.append(node)
+
+    @property
+    def num_actions_taken(self) -> int:
+        """How many actions have been applied so far."""
+        return self._num_actions
+
+    def current_node(self) -> Optional[Node]:
+        """The next node to act on (DFS order), or None if the tree is done."""
+        while self._frontier:
+            node = self._frontier[-1]
+            if node.is_leaf and not node.is_terminal(self.leaf_threshold):
+                return node
+            self._frontier.pop()
+        return None
+
+    def is_complete(self) -> bool:
+        """True once every leaf is terminal (or truncated)."""
+        return self.current_node() is None
+
+    def apply_action(self, action: Action) -> List[Node]:
+        """Apply an action to the current node and advance the frontier.
+
+        Returns the children created.  Raises :class:`TreeError` if the tree
+        is already complete.
+        """
+        node = self.current_node()
+        if node is None:
+            raise TreeError("tree construction is already complete")
+        self._frontier.pop()
+        children = node.apply(action, prune_redundant=self.prune_redundant)
+        # Push children in reverse so the first child is processed next (DFS).
+        for child in reversed(children):
+            self._push_if_unfinished(child)
+        self._num_actions += 1
+        return children
+
+    def truncate(self) -> None:
+        """Force every remaining unfinished node to become a leaf.
+
+        Used for rollout truncation (Section 5.1): a partially built tree is
+        still a valid classifier, just a poor one.
+        """
+        while self._frontier:
+            node = self._frontier.pop()
+            if node.is_leaf:
+                node.forced_leaf = True
+
+    # ------------------------------------------------------------------ #
+    # Traversal and inspection
+    # ------------------------------------------------------------------ #
+
+    def nodes(self) -> Iterator[Node]:
+        """Yield every node in the tree, depth-first pre-order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def leaves(self) -> Iterator[Node]:
+        """Yield every leaf node."""
+        for node in self.nodes():
+            if node.is_leaf:
+                yield node
+
+    def internal_nodes(self) -> Iterator[Node]:
+        """Yield every node that has an action applied."""
+        for node in self.nodes():
+            if not node.is_leaf:
+                yield node
+
+    def num_nodes(self) -> int:
+        """Total number of nodes in the tree."""
+        return sum(1 for _ in self.nodes())
+
+    def num_leaves(self) -> int:
+        """Total number of leaf nodes."""
+        return sum(1 for _ in self.leaves())
+
+    def depth(self) -> int:
+        """Maximum leaf depth (the paper's classification-time metric)."""
+        return max((node.depth for node in self.leaves()), default=0)
+
+    def nodes_per_level(self) -> List[int]:
+        """Number of nodes at each depth (Figure 5's y-axis)."""
+        counts: List[int] = []
+        for node in self.nodes():
+            while len(counts) <= node.depth:
+                counts.append(0)
+            counts[node.depth] += 1
+        return counts
+
+    def max_leaf_rules(self) -> int:
+        """Largest number of rules held by any leaf."""
+        return max((leaf.num_rules for leaf in self.leaves()), default=0)
+
+    def has_overflowing_leaves(self) -> bool:
+        """True if truncation left leaves that exceed the leaf threshold."""
+        return any(leaf.num_rules > self.leaf_threshold for leaf in self.leaves())
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+
+    def classify(self, packet: Packet) -> Optional[Rule]:
+        """Classify a packet by walking the tree; returns the matched rule."""
+        best, _ = self._classify_node(self.root, packet.as_tuple())
+        return best
+
+    def classify_with_depth(self, packet: Packet) -> Tuple[Optional[Rule], int]:
+        """Classify a packet and also report how many tree levels were visited."""
+        return self._classify_node(self.root, packet.as_tuple())
+
+    def _classify_node(self, node: Node,
+                       values: Tuple[int, ...]) -> Tuple[Optional[Rule], int]:
+        if node.is_leaf:
+            for rule in node.rules:  # highest priority first
+                if all(lo <= v < hi for v, (lo, hi) in zip(values, rule.ranges)):
+                    return rule, 1
+            return None, 1
+        if node.is_partition_node:
+            # Every partition child must be consulted; take the best match.
+            best: Optional[Rule] = None
+            total_depth = 1
+            for child in node.children:
+                match, depth = self._classify_node(child, values)
+                total_depth += depth
+                if match is not None and (best is None or match.priority > best.priority):
+                    best = match
+            return best, total_depth
+        # Cut node: exactly one child's box contains the packet.
+        for child in node.children:
+            if child.contains_packet(values):
+                match, depth = self._classify_node(child, values)
+                return match, depth + 1
+        return None, 1
+
+
+def build_with_policy(
+    ruleset: RuleSet,
+    choose_action: Callable[[Node], Action],
+    leaf_threshold: int = DEFAULT_LEAF_THRESHOLD,
+    max_depth: Optional[int] = None,
+    max_actions: Optional[int] = None,
+    prune_redundant: bool = True,
+) -> DecisionTree:
+    """Build a complete tree by repeatedly applying a node -> action policy.
+
+    This is the shared driver used by the baseline heuristics: the policy
+    callable inspects a node and returns the action to apply to it.
+    """
+    tree = DecisionTree(
+        ruleset,
+        leaf_threshold=leaf_threshold,
+        max_depth=max_depth,
+        prune_redundant=prune_redundant,
+    )
+    while not tree.is_complete():
+        if max_actions is not None and tree.num_actions_taken >= max_actions:
+            tree.truncate()
+            break
+        node = tree.current_node()
+        assert node is not None
+        action = choose_action(node)
+        try:
+            tree.apply_action(action)
+        except InvalidActionError:
+            # The policy produced an inapplicable action (e.g. a partition
+            # that does not separate anything); make the node a leaf instead.
+            # apply_action already removed the node from the frontier.
+            node.forced_leaf = True
+    return tree

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite.
+
+Training-based fixtures are deliberately tiny (tens of rules, a few hundred
+timesteps) so the whole suite stays fast; the benchmarks exercise the larger
+scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classbench import generate_classifier
+from repro.neurocuts import NeuroCutsConfig, NeuroCutsTrainer
+from repro.rules import Rule, RuleSet
+
+
+@pytest.fixture(scope="session")
+def small_acl_ruleset() -> RuleSet:
+    """An ACL-family classifier with 60 rules (plus default)."""
+    return generate_classifier("acl1", 60, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_fw_ruleset() -> RuleSet:
+    """A firewall-family classifier with 60 rules (harder to cut)."""
+    return generate_classifier("fw5", 60, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_ruleset() -> RuleSet:
+    """A hand-written 4-rule classifier mirroring the paper's Figure 1."""
+    rules = [
+        Rule.from_prefixes(
+            src_ip="10.0.0.0/32", dst_ip="10.0.0.0/16", priority=3, name="r0"
+        ),
+        Rule.from_fields(
+            src_port=(0, 1024), dst_port=(0, 1024), protocol=(6, 7),
+            priority=2, name="r1",
+        ),
+        Rule.from_prefixes(dst_ip="192.168.0.0/16", protocol=17, priority=1,
+                           name="r2"),
+        Rule.wildcard(priority=0, name="default"),
+    ]
+    return RuleSet(rules, name="figure1")
+
+
+@pytest.fixture(scope="session")
+def test_config() -> NeuroCutsConfig:
+    """A NeuroCuts config small enough for unit tests."""
+    return NeuroCutsConfig.fast_test_config(
+        hidden_sizes=(16, 16),
+        max_timesteps_total=900,
+        timesteps_per_batch=300,
+        max_timesteps_per_rollout=150,
+        leaf_threshold=8,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_trainer(small_acl_ruleset, test_config) -> NeuroCutsTrainer:
+    """A NeuroCuts trainer that has completed a (tiny) training run."""
+    trainer = NeuroCutsTrainer(small_acl_ruleset, test_config)
+    trainer.train()
+    return trainer

@@ -1,0 +1,133 @@
+"""Tests for the ClassBench-style workload generator, seeds, traces and suite."""
+
+import pytest
+
+from repro.classbench import (
+    ClassBenchGenerator,
+    ClassifierSpec,
+    DEFAULT_SCALE_SIZES,
+    FAMILIES,
+    PAPER_SCALE_SIZES,
+    SEEDS,
+    TraceConfig,
+    TraceGenerator,
+    family_of,
+    generate_classifier,
+    generate_trace,
+    get_seed,
+    iter_suite,
+    seed_names,
+    suite_specs,
+)
+from repro.rules import Dimension
+
+
+class TestSeeds:
+    def test_twelve_families(self):
+        assert len(SEEDS) == 12
+        assert set(seed_names()) == set(SEEDS)
+
+    def test_family_groups(self):
+        assert len(FAMILIES["acl"]) == 5
+        assert len(FAMILIES["fw"]) == 5
+        assert len(FAMILIES["ipc"]) == 2
+
+    def test_get_seed_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_seed("nope1")
+
+    def test_port_weights_are_positive(self):
+        for seed in SEEDS.values():
+            assert all(w >= 0 for w in seed.src_port.weights())
+            assert sum(seed.dst_port.weights()) > 0
+
+    def test_describe(self):
+        assert "acl" in get_seed("acl3").describe()
+
+
+class TestGenerator:
+    def test_generates_requested_size(self):
+        ruleset = generate_classifier("acl1", 50, seed=0)
+        assert len(ruleset) == 50
+
+    def test_always_has_default_rule(self):
+        for family in ("acl1", "fw3", "ipc2"):
+            ruleset = generate_classifier(family, 30, seed=2)
+            assert ruleset.has_default_rule()
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_classifier("fw1", 40, seed=9)
+        b = generate_classifier("fw1", 40, seed=9)
+        assert [r.ranges for r in a] == [r.ranges for r in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_classifier("fw1", 40, seed=1)
+        b = generate_classifier("fw1", 40, seed=2)
+        assert [r.ranges for r in a] != [r.ranges for r in b]
+
+    def test_rules_are_unique(self):
+        ruleset = generate_classifier("ipc1", 80, seed=3)
+        assert len({r.ranges for r in ruleset}) == len(ruleset)
+
+    def test_fw_family_more_wildcarded_than_acl(self):
+        acl = generate_classifier("acl1", 200, seed=0).stats()
+        fw = generate_classifier("fw5", 200, seed=0).stats()
+        assert fw.wildcard_fraction[Dimension.SRC_IP] > \
+            acl.wildcard_fraction[Dimension.SRC_IP]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            ClassBenchGenerator(get_seed("acl1")).generate(0)
+
+
+class TestTraces:
+    def test_trace_length_and_determinism(self, small_acl_ruleset):
+        a = generate_trace(small_acl_ruleset, num_packets=30, seed=4)
+        b = generate_trace(small_acl_ruleset, num_packets=30, seed=4)
+        assert len(a) == 30
+        assert a == b
+
+    def test_rule_biased_packets_match_rules(self, small_acl_ruleset):
+        config = TraceConfig(num_packets=50, rule_bias=1.0, seed=0)
+        packets = TraceGenerator(small_acl_ruleset, config).generate()
+        assert all(small_acl_ruleset.classify(p) is not None for p in packets)
+
+    def test_pareto_skew_concentrates_traffic(self, small_acl_ruleset):
+        config = TraceConfig(num_packets=300, rule_bias=1.0,
+                             pareto_shape=2.0, seed=0)
+        packets = TraceGenerator(small_acl_ruleset, config).generate()
+        matched = [small_acl_ruleset.classify(p).priority for p in packets]
+        # A heavily skewed trace should reuse a small number of rules a lot.
+        top_share = max(matched.count(p) for p in set(matched)) / len(matched)
+        assert top_share > 0.1
+
+
+class TestSuite:
+    def test_default_suite_has_36_entries(self):
+        specs = suite_specs()
+        assert len(specs) == 36
+        labels = {spec.label for spec in specs}
+        assert "acl1_1k" in labels and "fw5_100k" in labels and "ipc2_10k" in labels
+
+    def test_paper_scale_sizes(self):
+        assert PAPER_SCALE_SIZES == {"1k": 1000, "10k": 10_000, "100k": 100_000}
+        assert set(DEFAULT_SCALE_SIZES) == set(PAPER_SCALE_SIZES)
+
+    def test_spec_materialize_matches_size(self):
+        spec = ClassifierSpec(seed_name="acl2", scale="1k", num_rules=40)
+        ruleset = spec.materialize()
+        assert len(ruleset) == 40
+        assert ruleset.name == "acl2_1k"
+
+    def test_iter_suite_lazy(self):
+        specs = suite_specs(scale_sizes={"1k": 20}, scales=("1k",),
+                            families=("acl1", "fw1"))
+        labels = [label for label, ruleset in iter_suite(specs)]
+        assert labels == ["acl1_1k", "fw1_1k"]
+
+    def test_family_of(self):
+        assert family_of("acl3_10k") == "acl"
+        assert family_of("fw5_1k") == "fw"
+        assert family_of("ipc2_100k") == "ipc"
+        with pytest.raises(KeyError):
+            family_of("bogus_1k")

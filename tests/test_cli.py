@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.rules import io as rules_io
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "--seed-family", "fw1", "--num-rules", "50",
+             "--output", "out.cb"]
+        )
+        assert args.command == "generate"
+        assert args.seed_family == "fw1"
+        assert args.num_rules == 50
+
+
+class TestCommands:
+    def test_generate_writes_rule_file(self, tmp_path):
+        output = tmp_path / "rules.cb"
+        code = main(["generate", "--seed-family", "acl1", "--num-rules", "40",
+                     "--seed", "3", "--output", str(output)])
+        assert code == 0
+        loaded = rules_io.load(output)
+        assert len(loaded) == 40
+
+    def test_compare_prints_table(self, tmp_path, capsys, small_acl_ruleset):
+        rules_path = tmp_path / "rules.cb"
+        rules_io.dump(small_acl_ruleset, rules_path)
+        code = main(["compare", str(rules_path), "--binth", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("HiCuts", "HyperCuts", "EffiCuts", "CutSplit"):
+            assert name in out
+
+    def test_train_then_classify_roundtrip(self, tmp_path, capsys,
+                                           small_acl_ruleset):
+        rules_path = tmp_path / "rules.cb"
+        tree_path = tmp_path / "tree.json"
+        rules_io.dump(small_acl_ruleset, rules_path)
+        code = main(["train", str(rules_path), "--output", str(tree_path),
+                     "--timesteps", "800", "--leaf-threshold", "8"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["classification_time"] >= 1
+        assert tree_path.exists()
+
+        code = main(["classify", str(rules_path), str(tree_path),
+                     "--num-packets", "100"])
+        assert code == 0
+        assert "0 mismatches" in capsys.readouterr().out

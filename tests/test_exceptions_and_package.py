@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy and top-level package surface."""
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in ("RuleFormatError", "InvalidRangeError", "TreeError",
+                     "InvalidActionError", "BuildError", "ConfigError",
+                     "CheckpointError"):
+            cls = getattr(exceptions, name)
+            assert issubclass(cls, exceptions.ReproError)
+
+    def test_invalid_action_is_a_tree_error(self):
+        assert issubclass(exceptions.InvalidActionError, exceptions.TreeError)
+
+    def test_catching_base_class_catches_subclasses(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.ConfigError("bad config")
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing top-level export {name}"
+
+    def test_key_classes_importable_from_top_level(self):
+        assert repro.Rule is not None
+        assert repro.DecisionTree is not None
+        assert repro.NeuroCutsTrainer is not None

@@ -1,0 +1,120 @@
+"""Tests for repro.rules.fields: ranges, prefixes, and IP conversions."""
+
+import pytest
+
+from repro.exceptions import InvalidRangeError
+from repro.rules.fields import (
+    DIMENSIONS,
+    FIELD_BITS,
+    FIELD_RANGES,
+    FULL_SPACE,
+    Dimension,
+    int_to_ip,
+    ip_to_int,
+    prefix_to_range,
+    range_contains,
+    range_intersection,
+    range_overlap,
+    range_to_prefix,
+    validate_range,
+)
+
+
+class TestDimension:
+    def test_five_dimensions_in_canonical_order(self):
+        assert [d.name for d in DIMENSIONS] == [
+            "SRC_IP", "DST_IP", "SRC_PORT", "DST_PORT", "PROTOCOL"
+        ]
+
+    def test_bit_widths(self):
+        assert Dimension.SRC_IP.bits == 32
+        assert Dimension.DST_PORT.bits == 16
+        assert Dimension.PROTOCOL.bits == 8
+
+    def test_size_is_two_to_the_bits(self):
+        for dim in DIMENSIONS:
+            assert dim.size == 2 ** FIELD_BITS[dim]
+
+    def test_full_space_covers_every_dimension(self):
+        assert len(FULL_SPACE) == len(DIMENSIONS)
+        for dim, (lo, hi) in zip(DIMENSIONS, FULL_SPACE):
+            assert (lo, hi) == FIELD_RANGES[dim]
+
+
+class TestValidateRange:
+    def test_accepts_valid_range(self):
+        assert validate_range(Dimension.SRC_PORT, 10, 20) == (10, 20)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(InvalidRangeError):
+            validate_range(Dimension.SRC_PORT, 20, 20)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(InvalidRangeError):
+            validate_range(Dimension.SRC_PORT, 30, 20)
+
+    def test_rejects_out_of_bounds(self):
+        with pytest.raises(InvalidRangeError):
+            validate_range(Dimension.PROTOCOL, 0, 300)
+
+
+class TestPrefixConversion:
+    def test_full_prefix_is_single_value(self):
+        assert prefix_to_range(5, 32, bits=32) == (5, 6)
+
+    def test_zero_prefix_is_full_range(self):
+        assert prefix_to_range(12345, 0, bits=32) == (0, 1 << 32)
+
+    def test_prefix_masks_low_bits(self):
+        value = ip_to_int("192.168.37.200")
+        lo, hi = prefix_to_range(value, 16, bits=32)
+        assert lo == ip_to_int("192.168.0.0")
+        assert hi == ip_to_int("192.169.0.0")
+
+    def test_roundtrip_range_to_prefix(self):
+        lo, hi = prefix_to_range(ip_to_int("10.1.0.0"), 16)
+        value, plen = range_to_prefix(lo, hi)
+        assert (value, plen) == (ip_to_int("10.1.0.0"), 16)
+
+    def test_range_to_prefix_rejects_non_power_of_two(self):
+        with pytest.raises(InvalidRangeError):
+            range_to_prefix(0, 3)
+
+    def test_range_to_prefix_rejects_unaligned(self):
+        with pytest.raises(InvalidRangeError):
+            range_to_prefix(2, 6)
+
+    def test_prefix_length_out_of_bounds(self):
+        with pytest.raises(InvalidRangeError):
+            prefix_to_range(0, 40, bits=32)
+
+
+class TestIpConversion:
+    def test_ip_roundtrip(self):
+        for text in ("0.0.0.0", "10.0.0.1", "255.255.255.255", "192.168.1.77"):
+            assert int_to_ip(ip_to_int(text)) == text
+
+    def test_rejects_malformed_ip(self):
+        with pytest.raises(InvalidRangeError):
+            ip_to_int("10.0.0")
+        with pytest.raises(InvalidRangeError):
+            ip_to_int("256.0.0.1")
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(InvalidRangeError):
+            int_to_ip(1 << 33)
+
+
+class TestRangeOps:
+    def test_overlap(self):
+        assert range_overlap((0, 10), (5, 15))
+        assert not range_overlap((0, 10), (10, 15))
+
+    def test_contains(self):
+        assert range_contains((0, 100), (10, 20))
+        assert not range_contains((10, 20), (0, 100))
+        assert range_contains((10, 20), (10, 20))
+
+    def test_intersection(self):
+        assert range_intersection((0, 10), (5, 15)) == (5, 10)
+        assert range_intersection((0, 10), (10, 20)) is None

@@ -1,0 +1,68 @@
+"""Light tests of the figure runners (micro budgets, structure only).
+
+The benchmarks run the figure experiments at meaningful budgets; these tests
+only verify the runners wire the pieces together correctly, so they use a
+single tiny classifier and a few hundred training steps.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.classbench import ClassifierSpec
+from repro.harness import TINY, run_figure10, run_suite_comparison
+from repro.harness.experiments import BASELINE_NAMES
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    """A scale so small the runners finish in a few seconds."""
+    return dataclasses.replace(
+        TINY,
+        families=("acl1",),
+        neurocuts_timesteps=600,
+        neurocuts_batch=300,
+        neurocuts_rollout_limit=150,
+        neurocuts_hidden=(16, 16),
+    )
+
+
+@pytest.fixture(scope="module")
+def micro_specs(micro_scale):
+    return [ClassifierSpec(seed_name="acl1", scale="1k", num_rules=50, seed=0)]
+
+
+class TestSuiteComparison:
+    def test_comparison_includes_all_algorithms(self, micro_scale, micro_specs):
+        result = run_suite_comparison(
+            micro_scale, metric="classification_time", specs=micro_specs,
+            neurocuts_config=micro_scale.neurocuts_config(),
+        )
+        assert set(result.values) == set(BASELINE_NAMES) | {"NeuroCuts"}
+        assert set(result.medians) == set(result.values)
+        rows = result.rows()
+        assert len(rows) == 1
+        label, per_alg = rows[0]
+        assert label == "acl1_1k"
+        assert all(value >= 1 for value in per_alg.values())
+        summary = result.neurocuts_vs_best_baseline
+        assert -20.0 < summary.median < 1.0
+
+    def test_bytes_metric_variant(self, micro_scale, micro_specs):
+        result = run_suite_comparison(
+            micro_scale, metric="bytes_per_rule", specs=micro_specs,
+            neurocuts_config=micro_scale.neurocuts_config(time_space_coeff=0.0,
+                                                          reward_scaling="log"),
+        )
+        assert result.metric == "bytes_per_rule"
+        assert all(v > 0 for values in result.values.values()
+                   for v in values.values())
+
+
+class TestFigure10Runner:
+    def test_improvements_cover_every_spec(self, micro_scale, micro_specs):
+        result = run_figure10(micro_scale, specs=micro_specs)
+        assert set(result.space_improvement.per_classifier) == {"acl1_1k"}
+        assert set(result.time_improvement.per_classifier) == {"acl1_1k"}
+        assert "acl1_1k" in result.neurocuts["bytes_per_rule"]
+        assert "acl1_1k" in result.efficuts["bytes_per_rule"]

@@ -1,0 +1,194 @@
+"""Tests for NeuroCuts configuration, action space, and observation encoding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.rules import DIMENSIONS, Dimension, FULL_SPACE, Rule
+from repro.tree import (
+    CUT_SIZES,
+    CutAction,
+    EffiCutsPartitionAction,
+    Node,
+    PartitionAction,
+)
+from repro.neurocuts import (
+    NeuroCutsActionSpace,
+    NeuroCutsConfig,
+    ObservationEncoder,
+    SIMPLE_PARTITION_THRESHOLDS,
+    binary_encode,
+    one_hot,
+)
+from repro.harness.experiments import TABLE1_PAPER_DEFAULTS
+
+
+class TestConfig:
+    def test_defaults_match_paper_table1(self):
+        config = NeuroCutsConfig()
+        for name, paper_value in TABLE1_PAPER_DEFAULTS.items():
+            value = getattr(config, name)
+            if isinstance(value, (tuple, list)):
+                value = tuple(value)
+            assert value == paper_value, f"{name} deviates from Table 1"
+
+    def test_invalid_coefficient_rejected(self):
+        with pytest.raises(ConfigError):
+            NeuroCutsConfig(time_space_coeff=1.5)
+
+    def test_invalid_partition_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            NeuroCutsConfig(partition_mode="sometimes")
+
+    def test_invalid_reward_scaling_rejected(self):
+        with pytest.raises(ConfigError):
+            NeuroCutsConfig(reward_scaling="sqrt")
+
+    def test_fast_test_config_valid_and_small(self):
+        config = NeuroCutsConfig.fast_test_config()
+        assert config.max_timesteps_total < 100_000
+        assert tuple(config.hidden_sizes) == (64, 64)
+
+    def test_ppo_config_inherits_values(self):
+        config = NeuroCutsConfig(learning_rate=1e-4, clip_param=0.2)
+        ppo = config.ppo_config()
+        assert ppo.learning_rate == 1e-4
+        assert ppo.clip_param == 0.2
+
+
+def make_node(rules, depth=0):
+    return Node(ranges=FULL_SPACE, rules=list(rules), depth=depth)
+
+
+@pytest.fixture
+def mixed_node():
+    return make_node([
+        Rule.from_prefixes(src_ip="10.0.0.0/8", priority=3),
+        Rule.from_fields(dst_port=(80, 81), priority=2),
+        Rule.wildcard(priority=1),
+    ])
+
+
+class TestActionSpace:
+    def test_cut_only_mode_sizes(self):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="none"))
+        assert space.spec.sizes == (5, len(CUT_SIZES))
+
+    def test_simple_mode_adds_threshold_actions(self):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="simple"))
+        assert space.spec.num_partition_actions == len(SIMPLE_PARTITION_THRESHOLDS)
+
+    def test_efficuts_mode_adds_one_action(self):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="efficuts"))
+        assert space.spec.num_partition_actions == 1
+
+    def test_decode_cut_actions(self):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="none"))
+        for dim_idx, dim in enumerate(DIMENSIONS):
+            for cut_idx, cuts in enumerate(CUT_SIZES):
+                action = space.decode((dim_idx, cut_idx))
+                assert isinstance(action, CutAction)
+                assert action.dimension == dim and action.num_cuts == cuts
+
+    def test_decode_partition_actions(self):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="simple"))
+        action = space.decode((2, len(CUT_SIZES) + 3))
+        assert isinstance(action, PartitionAction)
+        assert action.dimension == DIMENSIONS[2]
+        assert action.threshold == SIMPLE_PARTITION_THRESHOLDS[3]
+
+    def test_decode_efficuts_action(self):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="efficuts"))
+        action = space.decode((0, len(CUT_SIZES)))
+        assert isinstance(action, EffiCutsPartitionAction)
+
+    def test_decode_out_of_range_rejected(self):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="none"))
+        with pytest.raises(ConfigError):
+            space.decode((0, 99))
+
+    def test_masks_allow_cuts_everywhere(self, mixed_node):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="none"))
+        dim_mask, act_mask = space.masks_for_node(mixed_node)
+        assert dim_mask.all()
+        assert act_mask.all()
+
+    def test_partition_masked_below_top_levels(self, mixed_node):
+        config = NeuroCutsConfig(partition_mode="simple", partition_top_levels=1)
+        space = NeuroCutsActionSpace(config)
+        _, act_mask_root = space.masks_for_node(make_node(mixed_node.rules, depth=0))
+        _, act_mask_deep = space.masks_for_node(make_node(mixed_node.rules, depth=2))
+        assert act_mask_root[len(CUT_SIZES):].any()
+        assert not act_mask_deep[len(CUT_SIZES):].any()
+
+    def test_partition_masked_when_it_cannot_separate(self):
+        config = NeuroCutsConfig(partition_mode="simple", partition_top_levels=1)
+        space = NeuroCutsActionSpace(config)
+        node = make_node([Rule.wildcard(priority=1),
+                          Rule.wildcard(priority=0, name="d2")])
+        _, act_mask = space.masks_for_node(node)
+        assert not act_mask[len(CUT_SIZES):].any()
+
+    def test_narrow_dimension_masked(self, mixed_node):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="none"))
+        box = list(FULL_SPACE)
+        box[int(Dimension.PROTOCOL)] = (6, 7)
+        node = Node(ranges=tuple(box), rules=list(mixed_node.rules))
+        dim_mask, _ = space.masks_for_node(node)
+        assert not dim_mask[int(Dimension.PROTOCOL)]
+
+    def test_all_actions_enumeration(self):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="none"))
+        actions = space.all_actions()
+        assert len(actions) == 5 * len(CUT_SIZES)
+        assert all(space.space.contains(a) for a in actions)
+
+    def test_describe_mentions_tuple(self):
+        space = NeuroCutsActionSpace(NeuroCutsConfig())
+        assert "Discrete" in space.describe()
+
+
+class TestObservationEncoding:
+    def test_binary_encode_msb_first(self):
+        assert list(binary_encode(5, 4)) == [0, 1, 0, 1]
+
+    def test_binary_encode_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            binary_encode(16, 4)
+
+    def test_one_hot(self):
+        vec = one_hot(2, 5)
+        assert vec[2] == 1.0 and vec.sum() == 1.0
+        with pytest.raises(ValueError):
+            one_hot(5, 5)
+
+    def test_observation_size_and_bounds(self, mixed_node):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="simple"))
+        encoder = ObservationEncoder(space)
+        obs = encoder.encode(mixed_node)
+        assert obs.shape == (encoder.size,)
+        assert np.all((obs == 0.0) | (obs == 1.0))
+        assert encoder.space.contains(obs)
+
+    def test_observation_distinguishes_boxes(self, mixed_node):
+        space = NeuroCutsActionSpace(NeuroCutsConfig())
+        encoder = ObservationEncoder(space)
+        obs_root = encoder.encode(mixed_node)
+        child = mixed_node.apply(CutAction(Dimension.SRC_IP, 4))[1]
+        obs_child = encoder.encode(child)
+        assert not np.array_equal(obs_root, obs_child)
+
+    def test_observation_reflects_partition_state(self):
+        space = NeuroCutsActionSpace(NeuroCutsConfig(partition_mode="simple"))
+        encoder = ObservationEncoder(space)
+        node = make_node([
+            Rule.from_prefixes(src_ip="10.0.0.0/8", priority=2),
+            Rule.wildcard(priority=1),
+        ])
+        small, large = node.apply(PartitionAction(Dimension.SRC_IP, 0.5))
+        assert not np.array_equal(encoder.encode(small), encoder.encode(large))
+
+    def test_describe_reports_layout(self):
+        space = NeuroCutsActionSpace(NeuroCutsConfig())
+        encoder = ObservationEncoder(space)
+        assert str(encoder.size) in encoder.describe()

@@ -1,0 +1,183 @@
+"""Tests for the NeuroCuts environment, reward calculation, and trainer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.rules import Dimension, Rule, RuleSet
+from repro.tree import CutAction, DecisionTree, validate_classifier
+from repro.neurocuts import (
+    NeuroCutsConfig,
+    NeuroCutsEnv,
+    NeuroCutsTrainer,
+    RewardCalculator,
+    linear_scaling,
+    log_scaling,
+    profile_tree,
+)
+from repro.neurocuts.trainer import NeuroCutsBuilder
+from repro.rl import Policy
+from repro.nn import ActorCriticMLP
+
+
+class TestRewardCalculator:
+    def test_scaling_functions(self):
+        assert linear_scaling(7.0) == 7.0
+        assert log_scaling(math.e) == pytest.approx(1.0)
+        assert log_scaling(0.0) == 0.0  # clamped at log(1)
+
+    def test_time_only_reward_is_negative_depth_cost(self, small_acl_ruleset):
+        config = NeuroCutsConfig(time_space_coeff=1.0, reward_scaling="linear")
+        calc = RewardCalculator(config)
+        tree = DecisionTree(small_acl_ruleset, leaf_threshold=len(small_acl_ruleset))
+        components = calc.subtree_reward(tree.root)
+        assert components.time == 1.0
+        assert components.reward == -1.0
+
+    def test_space_only_reward_uses_memory(self, small_acl_ruleset):
+        config = NeuroCutsConfig(time_space_coeff=0.0, reward_scaling="linear")
+        calc = RewardCalculator(config)
+        tree = DecisionTree(small_acl_ruleset, leaf_threshold=len(small_acl_ruleset))
+        components = calc.subtree_reward(tree.root)
+        assert components.reward == -components.space
+
+    def test_mixed_reward_interpolates(self):
+        config = NeuroCutsConfig(time_space_coeff=0.5, reward_scaling="log")
+        calc = RewardCalculator(config)
+        combined = calc.combine(time=8.0, space=1024.0)
+        expected = -(0.5 * math.log(8.0) + 0.5 * math.log(1024.0))
+        assert combined.reward == pytest.approx(expected)
+        assert calc.objective(8.0, 1024.0) == pytest.approx(-expected)
+
+
+@pytest.fixture
+def env_and_policy(small_acl_ruleset, test_config):
+    env = NeuroCutsEnv(small_acl_ruleset, test_config)
+    model = ActorCriticMLP(
+        obs_size=env.observation_size,
+        action_sizes=env.action_sizes,
+        hidden_sizes=(16, 16),
+        seed=0,
+    )
+    policy = Policy(model, env.action_space.space, seed=0)
+    return env, policy
+
+
+class TestEnv:
+    def test_rollout_builds_complete_or_truncated_tree(self, env_and_policy):
+        env, policy = env_and_policy
+        result = env.rollout(policy)
+        assert result.tree.is_complete()
+        assert result.num_steps >= 1
+        assert result.num_steps <= env.config.max_timesteps_per_rollout
+
+    def test_rollout_batch_shapes(self, env_and_policy):
+        env, policy = env_and_policy
+        result = env.rollout(policy)
+        batch = result.batch
+        assert batch is not None
+        assert len(batch) == result.num_steps
+        assert batch.obs.shape == (result.num_steps, env.observation_size)
+        assert batch.actions.shape == (result.num_steps, 2)
+        assert len(batch.action_masks) == 2
+
+    def test_rewards_are_negative_objectives(self, env_and_policy):
+        env, policy = env_and_policy
+        result = env.rollout(policy)
+        assert np.all(result.batch.returns <= 0)
+        assert result.objective == -result.root_reward.reward
+        # The root decision's return equals the whole-tree reward.
+        assert result.batch.returns[0] == pytest.approx(result.root_reward.reward)
+
+    def test_rollout_tree_classifies_correctly(self, env_and_policy,
+                                               small_acl_ruleset):
+        from repro.tree import TreeClassifier
+
+        env, policy = env_and_policy
+        result = env.rollout(policy)
+        classifier = TreeClassifier(small_acl_ruleset, [result.tree])
+        report = validate_classifier(classifier, num_random_packets=100)
+        assert report.is_correct
+
+    def test_deterministic_rollout_no_experience(self, env_and_policy):
+        env, policy = env_and_policy
+        result = env.rollout(policy, deterministic=True, collect_experience=False)
+        assert result.batch is None
+        assert result.tree.is_complete()
+
+    def test_rollout_respects_depth_truncation(self, small_fw_ruleset):
+        config = NeuroCutsConfig.fast_test_config(
+            hidden_sizes=(16, 16), max_tree_depth=3, max_timesteps_per_rollout=500,
+            leaf_threshold=1, seed=0,
+        )
+        env = NeuroCutsEnv(small_fw_ruleset, config)
+        model = ActorCriticMLP(env.observation_size, env.action_sizes,
+                               hidden_sizes=(16, 16), seed=0)
+        policy = Policy(model, env.action_space.space, seed=0)
+        result = env.rollout(policy)
+        assert result.tree.depth() <= 3
+
+
+class TestTrainer:
+    def test_training_produces_valid_classifier(self, trained_trainer,
+                                                 small_acl_ruleset):
+        result = trained_trainer.result()
+        classifier = result.best_classifier()
+        report = validate_classifier(classifier, num_random_packets=150)
+        assert report.is_correct
+        assert result.best_objective > 0
+        assert result.timesteps_total > 0
+        assert len(result.history) >= 1
+
+    def test_history_tracks_monotone_best(self, trained_trainer):
+        best_values = [h.best_objective for h in trained_trainer.history]
+        assert all(b >= a for a, b in zip(best_values[1:], best_values[:-1]))
+
+    def test_sample_trees_are_complete(self, trained_trainer):
+        trees = trained_trainer.sample_trees(2)
+        assert len(trees) == 2
+        for tree in trees:
+            assert tree.is_complete()
+            profile = profile_tree(tree)
+            assert profile.num_nodes >= 1
+
+    def test_builder_interface(self, small_acl_ruleset, test_config):
+        builder = NeuroCutsBuilder(config=test_config)
+        result = builder.build_with_stats(small_acl_ruleset)
+        assert result.algorithm == "NeuroCuts"
+        assert result.classification_time >= 1
+        assert builder.last_result is not None
+
+    def test_convergence_patience_stops_early(self, small_acl_ruleset):
+        config = NeuroCutsConfig.fast_test_config(
+            hidden_sizes=(16, 16),
+            max_timesteps_total=100_000,
+            timesteps_per_batch=200,
+            max_timesteps_per_rollout=100,
+            leaf_threshold=16,
+            convergence_patience=2,
+            seed=0,
+        )
+        trainer = NeuroCutsTrainer(small_acl_ruleset, config)
+        result = trainer.train(max_iterations=50)
+        # Far fewer timesteps than the cap because the patience fired.
+        assert result.timesteps_total < 100_000
+
+    def test_partition_mode_training(self, small_fw_ruleset):
+        config = NeuroCutsConfig.fast_test_config(
+            hidden_sizes=(16, 16),
+            max_timesteps_total=600,
+            timesteps_per_batch=300,
+            max_timesteps_per_rollout=150,
+            partition_mode="efficuts",
+            time_space_coeff=0.0,
+            reward_scaling="log",
+            leaf_threshold=8,
+            seed=1,
+        )
+        trainer = NeuroCutsTrainer(small_fw_ruleset, config)
+        result = trainer.train()
+        classifier = result.best_classifier()
+        report = validate_classifier(classifier, num_random_packets=100)
+        assert report.is_correct

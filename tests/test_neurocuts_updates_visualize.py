@@ -1,0 +1,108 @@
+"""Tests for incremental classifier updates and tree-shape visualisation."""
+
+import pytest
+
+from repro.rules import Dimension, Packet, Rule, RuleSet
+from repro.tree import CutAction, PartitionAction, TreeClassifier, build_with_policy
+from repro.neurocuts import (
+    IncrementalUpdater,
+    compare_profiles,
+    profile_tree,
+    render_profile,
+)
+
+
+@pytest.fixture
+def built_tree(small_acl_ruleset):
+    return build_with_policy(
+        small_acl_ruleset,
+        lambda node: CutAction(Dimension.SRC_IP, 8),
+        leaf_threshold=8,
+    )
+
+
+class TestIncrementalUpdates:
+    def test_add_rule_lands_in_intersecting_leaves(self, built_tree):
+        updater = IncrementalUpdater(built_tree)
+        new_rule = Rule.from_fields(dst_port=(4443, 4444), priority=10 ** 6,
+                                    name="new")
+        touched = updater.add_rule(new_rule)
+        assert touched >= 1
+        assert updater.stats.rules_added == 1
+        # The updated tree must classify packets hitting the new rule correctly.
+        packet = built_tree.ruleset.sample_matching_packet(new_rule)
+        match = built_tree.classify(packet)
+        assert match is not None and match.priority == new_rule.priority
+
+    def test_updated_tree_still_matches_linear_search(self, built_tree):
+        updater = IncrementalUpdater(built_tree)
+        new_rule = Rule.from_prefixes(src_ip="77.1.0.0/16", priority=10 ** 6)
+        updater.add_rule(new_rule)
+        classifier = TreeClassifier(built_tree.ruleset, [built_tree])
+        checked, mismatches = classifier.validate(
+            built_tree.ruleset.sample_packets(150, seed=9)
+        )
+        assert mismatches == 0
+
+    def test_remove_rule(self, built_tree):
+        updater = IncrementalUpdater(built_tree)
+        victim = built_tree.ruleset[0]
+        touched = updater.remove_rule(victim)
+        assert touched >= 1
+        assert victim not in built_tree.ruleset.rules
+        assert all(victim not in leaf.rules for leaf in built_tree.leaves())
+
+    def test_retraining_threshold(self, built_tree):
+        updater = IncrementalUpdater(built_tree, retrain_threshold=2)
+        assert not updater.needs_retraining()
+        updater.add_rule(Rule.from_fields(dst_port=(1, 2), priority=10 ** 6))
+        updater.add_rule(Rule.from_fields(dst_port=(3, 4), priority=10 ** 6 + 1))
+        assert updater.needs_retraining()
+
+    def test_update_routed_through_partition(self, small_fw_ruleset):
+        def policy(node):
+            if node.depth == 0:
+                return PartitionAction(Dimension.SRC_IP, 0.5)
+            return CutAction(Dimension.DST_IP, 8)
+
+        # Depth cap: a fixed cutting policy cannot separate fw-style rules
+        # that wildcard DstIP, so uncapped construction would blow up.
+        tree = build_with_policy(small_fw_ruleset, policy, leaf_threshold=8,
+                                 max_depth=3, max_actions=300)
+        updater = IncrementalUpdater(tree)
+        # A rule that is "small" in SRC_IP must be routed to the small child only.
+        new_rule = Rule.from_prefixes(src_ip="88.9.0.0/16", priority=10 ** 6)
+        updater.add_rule(new_rule)
+        root = tree.root
+        small_child, large_child = root.children
+        assert new_rule in small_child.rules
+        assert new_rule not in large_child.rules
+
+
+class TestVisualize:
+    def test_profile_counts_match_tree(self, built_tree):
+        profile = profile_tree(built_tree)
+        assert profile.num_nodes == built_tree.num_nodes()
+        assert profile.depth == built_tree.depth()
+        assert sum(level.num_nodes for level in profile.levels) == profile.num_nodes
+        assert profile.levels[0].num_nodes == 1
+
+    def test_cut_dimension_histogram(self, built_tree):
+        profile = profile_tree(built_tree)
+        total_cuts = sum(
+            count
+            for level in profile.levels
+            for count in level.cut_dimension_counts.values()
+        )
+        assert total_cuts == sum(1 for _ in built_tree.internal_nodes())
+        assert profile.dominant_dimensions(top_k=1) == ["SRC_IP"]
+
+    def test_render_profile_text(self, built_tree):
+        text = render_profile(profile_tree(built_tree))
+        assert "level" in text and "#" in text
+
+    def test_compare_profiles_series(self, built_tree):
+        profiles = [profile_tree(built_tree)] * 3
+        series = compare_profiles(profiles)
+        assert len(series["depth"]) == 3
+        assert series["num_nodes"][0] == built_tree.num_nodes()

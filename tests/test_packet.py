@@ -1,0 +1,46 @@
+"""Tests for repro.rules.packet."""
+
+import pytest
+
+from repro.exceptions import InvalidRangeError
+from repro.rules import Dimension, Packet
+
+
+class TestPacket:
+    def test_as_tuple_order(self):
+        packet = Packet(1, 2, 3, 4, 5)
+        assert packet.as_tuple() == (1, 2, 3, 4, 5)
+
+    def test_getitem_by_dimension(self):
+        packet = Packet(10, 20, 30, 40, 6)
+        assert packet[Dimension.SRC_IP] == 10
+        assert packet[Dimension.PROTOCOL] == 6
+        assert packet[3] == 40
+
+    def test_iteration(self):
+        assert list(Packet(1, 2, 3, 4, 5)) == [1, 2, 3, 4, 5]
+
+    def test_out_of_range_field_rejected(self):
+        with pytest.raises(InvalidRangeError):
+            Packet(0, 0, 70000, 0, 0)
+        with pytest.raises(InvalidRangeError):
+            Packet(0, 0, 0, 0, 300)
+
+    def test_from_values_length_check(self):
+        with pytest.raises(InvalidRangeError):
+            Packet.from_values((1, 2, 3))
+
+    def test_from_strings(self):
+        packet = Packet.from_strings("10.0.0.1", "192.168.1.1", 1234, 80, 6)
+        assert packet.src_ip == (10 << 24) + 1
+        assert packet.dst_port == 80
+
+    def test_pretty_contains_dotted_quads(self):
+        packet = Packet.from_strings("10.0.0.1", "192.168.1.1", 1234, 80, 6)
+        text = packet.pretty()
+        assert "10.0.0.1" in text and "192.168.1.1" in text
+
+    def test_immutability(self):
+        packet = Packet(1, 2, 3, 4, 5)
+        with pytest.raises(AttributeError):
+            packet.src_ip = 9

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These check the invariants everything else relies on: rules match exactly the
+packets inside their hypercube, cuts tile a node's box without losing rules,
+trees classify identically to linear search for arbitrary rule sets, and the
+distribution gradients stay consistent with their probabilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.rules import DIMENSIONS, FIELD_RANGES, Packet, Rule, RuleSet
+from repro.rules.fields import Dimension, prefix_to_range
+from repro.tree import CUT_SIZES, CutAction, DecisionTree, Node, build_with_policy
+from repro.tree.node import remove_redundant_rules
+from repro.nn.distributions import Categorical
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def ranges_for_dim(draw, dim: Dimension):
+    """A random non-empty half-open range within a dimension's bounds."""
+    lo_bound, hi_bound = FIELD_RANGES[dim]
+    lo = draw(st.integers(min_value=lo_bound, max_value=hi_bound - 1))
+    hi = draw(st.integers(min_value=lo + 1, max_value=hi_bound))
+    return (lo, hi)
+
+
+@st.composite
+def rules(draw, priority=0):
+    """A random rule with arbitrary (not necessarily prefix) ranges."""
+    rule_ranges = tuple(draw(ranges_for_dim(dim)) for dim in DIMENSIONS)
+    return Rule(ranges=rule_ranges, priority=priority)
+
+
+@st.composite
+def rulesets(draw, min_rules=2, max_rules=12):
+    """A random classifier terminated by a default rule."""
+    count = draw(st.integers(min_value=min_rules, max_value=max_rules))
+    rule_list = [draw(rules(priority=count - i)) for i in range(count - 1)]
+    rule_list.append(Rule.wildcard(priority=0))
+    return RuleSet(rule_list, name="hypothesis", reassign_priorities=True)
+
+
+@st.composite
+def packets(draw):
+    values = tuple(
+        draw(st.integers(min_value=FIELD_RANGES[d][0],
+                         max_value=FIELD_RANGES[d][1] - 1))
+        for d in DIMENSIONS
+    )
+    return Packet.from_values(values)
+
+
+# --------------------------------------------------------------------------- #
+# Rule properties
+# --------------------------------------------------------------------------- #
+
+
+@given(rule=rules(), packet=packets())
+@settings(max_examples=200, deadline=None)
+def test_rule_matches_iff_packet_inside_every_range(rule, packet):
+    inside = all(lo <= v < hi for v, (lo, hi) in zip(packet, rule.ranges))
+    assert rule.matches(packet) == inside
+
+
+@given(rule=rules())
+@settings(max_examples=100, deadline=None)
+def test_rule_clip_to_own_box_is_identity(rule):
+    clipped = rule.clip_to(rule.ranges)
+    assert clipped is not None
+    assert clipped.ranges == rule.ranges
+
+
+@given(rule=rules())
+@settings(max_examples=100, deadline=None)
+def test_coverage_fraction_bounds(rule):
+    for dim in DIMENSIONS:
+        fraction = rule.coverage_fraction(dim)
+        assert 0.0 < fraction <= 1.0
+        assert rule.is_wildcard(dim) == (fraction == 1.0)
+
+
+@given(value=st.integers(min_value=0, max_value=(1 << 32) - 1),
+       prefix_len=st.integers(min_value=0, max_value=32))
+@settings(max_examples=200, deadline=None)
+def test_prefix_range_contains_exactly_prefix_matches(value, prefix_len):
+    lo, hi = prefix_to_range(value, prefix_len, bits=32)
+    assert hi - lo == 1 << (32 - prefix_len)
+    if prefix_len > 0:
+        mask = ((1 << prefix_len) - 1) << (32 - prefix_len)
+        assert lo == value & mask
+    assert lo <= value < hi or prefix_len == 0
+
+
+# --------------------------------------------------------------------------- #
+# Ruleset / classification properties
+# --------------------------------------------------------------------------- #
+
+
+@given(ruleset=rulesets(), packet=packets())
+@settings(max_examples=100, deadline=None)
+def test_classify_returns_highest_priority_match(ruleset, packet):
+    match = ruleset.classify(packet)
+    assert match is not None  # default rule guarantees a match
+    better = [r for r in ruleset if r.matches(packet) and r.priority > match.priority]
+    assert not better
+
+
+@given(ruleset=rulesets())
+@settings(max_examples=30, deadline=None)
+def test_tree_agrees_with_linear_search(ruleset):
+    # Keep the tree small: heavily overlapping random rules cannot be
+    # separated below the leaf threshold, so depth/action caps are what stop
+    # construction (a truncated tree is still an exact classifier).
+    tree = build_with_policy(
+        ruleset,
+        lambda node: CutAction(Dimension.SRC_IP, 4),
+        leaf_threshold=4,
+        max_depth=5,
+        max_actions=300,
+    )
+    for packet in ruleset.sample_packets(20, seed=0):
+        expected = ruleset.classify(packet)
+        actual = tree.classify(packet)
+        assert (actual.priority if actual else None) == \
+            (expected.priority if expected else None)
+
+
+# --------------------------------------------------------------------------- #
+# Node / cut properties
+# --------------------------------------------------------------------------- #
+
+
+@given(ruleset=rulesets(),
+       dim=st.sampled_from(list(Dimension)),
+       num_cuts=st.sampled_from(CUT_SIZES))
+@settings(max_examples=60, deadline=None)
+def test_cut_children_tile_the_parent_range(ruleset, dim, num_cuts):
+    node = Node(ranges=tuple(FIELD_RANGES[d] for d in DIMENSIONS),
+                rules=list(ruleset.rules))
+    children = node.apply(CutAction(dim, num_cuts))
+    child_ranges = [child.range_for(dim) for child in children]
+    assert child_ranges[0][0] == FIELD_RANGES[dim][0]
+    assert child_ranges[-1][1] == FIELD_RANGES[dim][1]
+    for (_, prev_hi), (next_lo, _) in zip(child_ranges, child_ranges[1:]):
+        assert prev_hi == next_lo
+    # No rule that intersects the parent vanishes from every child it overlaps,
+    # unless it is redundant there (covered by a higher-priority rule).
+    for rule in node.rules:
+        holders = [c for c in children if rule in c.rules]
+        if not holders:
+            intersecting = [c for c in children if rule.intersects(c.ranges)]
+            for child in intersecting:
+                clipped = rule.clip_to(child.ranges)
+                assert any(
+                    other.priority > rule.priority
+                    and other.clip_to(child.ranges) is not None
+                    and other.clip_to(child.ranges).covers(clipped)
+                    for other in child.rules
+                )
+
+
+@given(ruleset=rulesets())
+@settings(max_examples=60, deadline=None)
+def test_redundant_rule_removal_preserves_classification(ruleset):
+    box = tuple(FIELD_RANGES[d] for d in DIMENSIONS)
+    pruned = remove_redundant_rules(list(ruleset.rules), box)
+    pruned_set = RuleSet(pruned, name="pruned") if pruned else None
+    assert pruned_set is not None
+    for packet in ruleset.sample_packets(10, seed=1):
+        full = ruleset.classify(packet)
+        reduced = pruned_set.classify(packet)
+        assert (reduced.priority if reduced else None) == \
+            (full.priority if full else None)
+
+
+# --------------------------------------------------------------------------- #
+# Distribution properties
+# --------------------------------------------------------------------------- #
+
+
+@given(logits=st.lists(st.floats(min_value=-5, max_value=5),
+                       min_size=2, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_categorical_probabilities_normalised(logits):
+    dist = Categorical(np.array([logits]))
+    assert np.isclose(dist.probs.sum(), 1.0)
+    assert dist.entropy()[0] >= -1e-9
+    assert dist.entropy()[0] <= np.log(len(logits)) + 1e-9
+
+
+@given(logits=st.lists(st.floats(min_value=-5, max_value=5),
+                       min_size=2, max_size=6),
+       action_seed=st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=100, deadline=None)
+def test_categorical_logprob_grad_sums_to_zero(logits, action_seed):
+    dist = Categorical(np.array([logits]))
+    action = np.array([action_seed % len(logits)])
+    grad = dist.log_prob_grad(action)
+    # d/dz sum over a softmax's log-prob gradient is always zero.
+    assert np.isclose(grad.sum(), 0.0, atol=1e-9)

@@ -1,0 +1,133 @@
+"""Tests for repro.rules.rule: matching, geometry and formatting."""
+
+import pytest
+
+from repro.exceptions import RuleFormatError
+from repro.rules import Dimension, FIELD_RANGES, Packet, Rule
+from repro.rules.rule import format_prefix, highest_priority, parse_prefix
+
+
+@pytest.fixture
+def sample_rule() -> Rule:
+    return Rule.from_prefixes(
+        src_ip="10.0.0.0/8",
+        dst_ip="192.168.0.0/16",
+        src_port=(1000, 2001),
+        dst_port=(80, 81),
+        protocol=6,
+        priority=5,
+    )
+
+
+class TestConstruction:
+    def test_wrong_number_of_ranges_rejected(self):
+        with pytest.raises(RuleFormatError):
+            Rule(ranges=((0, 1), (0, 1)))
+
+    def test_wildcard_covers_full_space(self):
+        rule = Rule.wildcard()
+        for dim in Dimension:
+            assert rule.range_for(dim) == FIELD_RANGES[dim]
+        assert rule.num_wildcard_dims() == 5
+
+    def test_from_fields_none_means_wildcard(self):
+        rule = Rule.from_fields(dst_port=(80, 81))
+        assert rule.is_wildcard(Dimension.SRC_IP)
+        assert not rule.is_wildcard(Dimension.DST_PORT)
+
+    def test_from_prefixes_protocol_exact(self, sample_rule):
+        assert sample_rule.range_for(Dimension.PROTOCOL) == (6, 7)
+
+
+class TestMatching:
+    def test_matching_packet(self, sample_rule):
+        packet = Packet.from_strings("10.1.2.3", "192.168.5.6", 1500, 80, 6)
+        assert sample_rule.matches(packet)
+
+    def test_non_matching_port(self, sample_rule):
+        packet = Packet.from_strings("10.1.2.3", "192.168.5.6", 1500, 443, 6)
+        assert not sample_rule.matches(packet)
+
+    def test_boundary_values_half_open(self, sample_rule):
+        low = Packet.from_strings("10.0.0.0", "192.168.0.0", 1000, 80, 6)
+        assert sample_rule.matches(low)
+        above = Packet.from_strings("10.1.2.3", "192.168.5.6", 2001, 80, 6)
+        assert not sample_rule.matches(above)
+
+    def test_wildcard_matches_everything(self):
+        rule = Rule.wildcard()
+        assert rule.matches(Packet(0, 0, 0, 0, 0))
+        assert rule.matches(Packet((1 << 32) - 1, 0, 65535, 65535, 255))
+
+
+class TestGeometry:
+    def test_intersects_and_covered(self, sample_rule):
+        box = list(FIELD_RANGES[d] for d in Dimension)
+        assert sample_rule.intersects(box)
+        assert sample_rule.is_covered_by(box)
+
+    def test_disjoint_box_does_not_intersect(self, sample_rule):
+        box = [FIELD_RANGES[d] for d in Dimension]
+        box[int(Dimension.DST_PORT)] = (443, 444)
+        assert not sample_rule.intersects(box)
+
+    def test_clip_to_box(self, sample_rule):
+        box = [FIELD_RANGES[d] for d in Dimension]
+        box[int(Dimension.SRC_PORT)] = (0, 1500)
+        clipped = sample_rule.clip_to(box)
+        assert clipped is not None
+        assert clipped.range_for(Dimension.SRC_PORT) == (1000, 1500)
+        assert clipped.priority == sample_rule.priority
+
+    def test_clip_to_disjoint_box_is_none(self, sample_rule):
+        box = [FIELD_RANGES[d] for d in Dimension]
+        box[int(Dimension.PROTOCOL)] = (17, 18)
+        assert sample_rule.clip_to(box) is None
+
+    def test_coverage_fraction(self, sample_rule):
+        assert sample_rule.coverage_fraction(Dimension.SRC_IP) == pytest.approx(1 / 256)
+        assert sample_rule.coverage_fraction(Dimension.DST_PORT) == pytest.approx(
+            1 / 65536
+        )
+        assert Rule.wildcard().coverage_fraction(Dimension.SRC_IP) == 1.0
+
+    def test_covers_and_overlaps(self, sample_rule):
+        wildcard = Rule.wildcard()
+        assert wildcard.covers(sample_rule)
+        assert not sample_rule.covers(wildcard)
+        assert sample_rule.overlaps(wildcard)
+
+    def test_span(self, sample_rule):
+        assert sample_rule.span(Dimension.SRC_PORT) == 1001
+        assert sample_rule.span(Dimension.PROTOCOL) == 1
+
+
+class TestFormatting:
+    def test_to_classbench_roundtrip_via_parse(self, sample_rule):
+        from repro.rules.io import parse_rule_line
+
+        line = sample_rule.to_classbench()
+        parsed = parse_rule_line(line, priority=sample_rule.priority)
+        assert parsed.ranges == sample_rule.ranges
+
+    def test_pretty_mentions_wildcards(self):
+        text = Rule.wildcard().pretty()
+        assert "SRC_IP=*" in text
+
+    def test_parse_prefix_bare_address(self):
+        assert parse_prefix("10.0.0.1") == (
+            (10 << 24) + 1, (10 << 24) + 2
+        )
+
+    def test_format_prefix(self):
+        assert format_prefix(((10 << 24), (10 << 24) + (1 << 16))) == "10.0.0.0/16"
+
+
+class TestHighestPriority:
+    def test_empty_is_none(self):
+        assert highest_priority([]) is None
+
+    def test_picks_max_priority(self):
+        rules = [Rule.wildcard(priority=1), Rule.wildcard(priority=9),
+                 Rule.wildcard(priority=4)]
+        assert highest_priority(rules).priority == 9

@@ -1,0 +1,98 @@
+"""Tests for repro.rules.ruleset: ordering, classification, edits, sampling."""
+
+import pytest
+
+from repro.exceptions import RuleFormatError
+from repro.rules import Dimension, Packet, Rule, RuleSet
+
+
+class TestOrderingAndPriorities:
+    def test_rules_sorted_by_priority(self, tiny_ruleset):
+        priorities = [r.priority for r in tiny_ruleset]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_duplicate_priorities_reassigned_from_order(self):
+        first = Rule.from_fields(protocol=(6, 7), priority=0, name="tcp")
+        second = Rule.wildcard(priority=0, name="default")
+        ruleset = RuleSet([first, second])
+        assert ruleset[0].ranges == first.ranges
+        assert ruleset[0].priority > ruleset[1].priority
+
+    def test_empty_ruleset_rejected(self):
+        with pytest.raises(RuleFormatError):
+            RuleSet([])
+
+
+class TestClassification:
+    def test_highest_priority_rule_wins(self, tiny_ruleset):
+        # This packet matches both the src/dst rule and the default rule.
+        packet = Packet.from_strings("10.0.0.0", "10.0.0.1", 0, 0, 6)
+        match = tiny_ruleset.classify(packet)
+        assert match is not None and match.name == "r0"
+
+    def test_default_rule_catches_everything(self, tiny_ruleset):
+        packet = Packet.from_strings("1.2.3.4", "5.6.7.8", 9999, 9999, 50)
+        match = tiny_ruleset.classify(packet)
+        assert match is not None and match.name == "default"
+
+    def test_matching_rules_sorted(self, tiny_ruleset):
+        packet = Packet.from_strings("10.0.0.0", "10.0.0.1", 100, 100, 6)
+        matches = tiny_ruleset.matching_rules(packet)
+        assert len(matches) >= 2
+        assert matches[0].priority >= matches[-1].priority
+
+
+class TestEditing:
+    def test_with_rules_added(self, tiny_ruleset):
+        new_rule = Rule.from_fields(dst_port=(443, 444))
+        bigger = tiny_ruleset.with_rules_added([new_rule])
+        assert len(bigger) == len(tiny_ruleset) + 1
+        # Original is untouched.
+        assert len(tiny_ruleset) == 4
+
+    def test_with_rules_removed(self, tiny_ruleset):
+        to_remove = tiny_ruleset[1]
+        smaller = tiny_ruleset.with_rules_removed([to_remove])
+        assert len(smaller) == len(tiny_ruleset) - 1
+        assert to_remove not in smaller
+
+    def test_cannot_remove_all_rules(self, tiny_ruleset):
+        with pytest.raises(RuleFormatError):
+            tiny_ruleset.with_rules_removed(list(tiny_ruleset))
+
+
+class TestSamplingAndStats:
+    def test_sampled_packets_respect_bias(self, small_acl_ruleset):
+        packets = small_acl_ruleset.sample_packets(50, seed=1, rule_bias=1.0)
+        assert len(packets) == 50
+        # Every packet drawn from a rule's box matches at least that rule.
+        assert all(small_acl_ruleset.classify(p) is not None for p in packets)
+
+    def test_sampling_is_deterministic(self, small_acl_ruleset):
+        a = small_acl_ruleset.sample_packets(20, seed=5)
+        b = small_acl_ruleset.sample_packets(20, seed=5)
+        assert a == b
+
+    def test_stats_fields(self, small_acl_ruleset):
+        stats = small_acl_ruleset.stats()
+        assert stats.num_rules == len(small_acl_ruleset)
+        for dim in Dimension:
+            assert 0.0 <= stats.wildcard_fraction[dim] <= 1.0
+            assert 0.0 < stats.mean_coverage[dim] <= 1.0
+            assert stats.distinct_ranges[dim] >= 1
+
+    def test_subset(self, small_acl_ruleset):
+        subset = small_acl_ruleset.subset(10, seed=0)
+        assert len(subset) == 10
+        assert all(rule in small_acl_ruleset.rules for rule in subset)
+
+    def test_with_default_rule_idempotent(self, small_acl_ruleset):
+        assert small_acl_ruleset.has_default_rule()
+        assert small_acl_ruleset.with_default_rule() is small_acl_ruleset
+
+    def test_with_default_rule_added_when_missing(self):
+        ruleset = RuleSet([Rule.from_fields(protocol=(6, 7))])
+        assert not ruleset.has_default_rule()
+        completed = ruleset.with_default_rule()
+        assert completed.has_default_rule()
+        assert len(completed) == 2

@@ -1,0 +1,62 @@
+"""Tests for tree action types."""
+
+import pytest
+
+from repro.exceptions import InvalidActionError
+from repro.rules import Dimension
+from repro.tree import (
+    CUT_SIZES,
+    PARTITION_LEVELS,
+    CutAction,
+    EffiCutsPartitionAction,
+    MultiCutAction,
+    PartitionAction,
+    SplitAction,
+    is_cut,
+    is_partition,
+)
+
+
+class TestActionTypes:
+    def test_cut_sizes_match_paper(self):
+        assert CUT_SIZES == (2, 4, 8, 16, 32)
+
+    def test_partition_levels_match_appendix(self):
+        assert PARTITION_LEVELS == (0.0, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0)
+
+    def test_cut_requires_two_children(self):
+        with pytest.raises(InvalidActionError):
+            CutAction(dimension=Dimension.SRC_IP, num_cuts=1)
+
+    def test_multicut_duplicate_dims_rejected(self):
+        with pytest.raises(InvalidActionError):
+            MultiCutAction(cuts=((Dimension.SRC_IP, 2), (Dimension.SRC_IP, 4)))
+
+    def test_multicut_child_count(self):
+        action = MultiCutAction(cuts=((Dimension.SRC_IP, 4), (Dimension.DST_IP, 8)))
+        assert action.total_children == 32
+
+    def test_multicut_needs_at_least_one_dim(self):
+        with pytest.raises(InvalidActionError):
+            MultiCutAction(cuts=())
+
+    def test_partition_threshold_bounds(self):
+        with pytest.raises(InvalidActionError):
+            PartitionAction(dimension=Dimension.SRC_IP, threshold=1.5)
+
+    def test_classification_predicates(self):
+        cut = CutAction(dimension=Dimension.SRC_IP, num_cuts=2)
+        split = SplitAction(dimension=Dimension.DST_IP, split_point=100)
+        partition = PartitionAction(dimension=Dimension.SRC_IP, threshold=0.5)
+        efficuts = EffiCutsPartitionAction()
+        assert is_cut(cut) and is_cut(split) and not is_partition(cut)
+        assert is_partition(partition) and is_partition(efficuts)
+        assert not is_cut(partition)
+
+    def test_describe_strings(self):
+        assert "SRC_IP" in CutAction(Dimension.SRC_IP, 4).describe()
+        assert "partition" in PartitionAction(Dimension.DST_IP, 0.5).describe()
+        assert "efficuts" in EffiCutsPartitionAction().describe()
+        assert "split" in SplitAction(Dimension.SRC_PORT, 80).describe()
+        multi = MultiCutAction(cuts=((Dimension.SRC_IP, 2),))
+        assert "SRC_IP" in multi.describe()

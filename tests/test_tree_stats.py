@@ -1,0 +1,105 @@
+"""Tests for tree statistics: the paper's time/space aggregation equations."""
+
+import pytest
+
+from repro.rules import Dimension, Rule, RuleSet
+from repro.tree import (
+    CHILD_POINTER_BYTES,
+    CutAction,
+    DecisionTree,
+    NODE_HEADER_BYTES,
+    PartitionAction,
+    RULE_POINTER_BYTES,
+    build_with_policy,
+    compute_stats,
+    node_space_cost,
+    subtree_space,
+    subtree_time,
+)
+
+
+@pytest.fixture
+def ruleset_for_stats():
+    rules = [
+        Rule.from_prefixes(src_ip="10.0.0.0/8", priority=4),
+        Rule.from_prefixes(src_ip="20.0.0.0/8", priority=3),
+        Rule.from_fields(dst_port=(80, 81), priority=2),
+        Rule.wildcard(priority=1),
+    ]
+    return RuleSet(rules, name="stats")
+
+
+class TestLeafCosts:
+    def test_single_leaf_time_is_one(self, ruleset_for_stats):
+        tree = DecisionTree(ruleset_for_stats, leaf_threshold=10)
+        assert subtree_time(tree.root) == 1
+
+    def test_single_leaf_space_counts_rules(self, ruleset_for_stats):
+        tree = DecisionTree(ruleset_for_stats, leaf_threshold=10)
+        expected = NODE_HEADER_BYTES + RULE_POINTER_BYTES * len(ruleset_for_stats)
+        assert subtree_space(tree.root) == expected
+        assert node_space_cost(tree.root) == expected
+
+
+class TestCutAggregation:
+    def test_cut_time_is_max_over_children(self, ruleset_for_stats):
+        tree = DecisionTree(ruleset_for_stats, leaf_threshold=1)
+        tree.apply_action(CutAction(Dimension.SRC_IP, 4))
+        tree.truncate()
+        child_times = [subtree_time(child) for child in tree.root.children]
+        assert subtree_time(tree.root) == 1 + max(child_times)
+
+    def test_cut_space_is_sum_over_children(self, ruleset_for_stats):
+        tree = DecisionTree(ruleset_for_stats, leaf_threshold=1)
+        tree.apply_action(CutAction(Dimension.SRC_IP, 4))
+        tree.truncate()
+        child_space = sum(subtree_space(child) for child in tree.root.children)
+        own = NODE_HEADER_BYTES + CHILD_POINTER_BYTES * len(tree.root.children)
+        assert subtree_space(tree.root) == own + child_space
+
+
+class TestPartitionAggregation:
+    def test_partition_time_is_sum_over_children(self, ruleset_for_stats):
+        tree = DecisionTree(ruleset_for_stats, leaf_threshold=1)
+        tree.apply_action(PartitionAction(Dimension.SRC_IP, 0.5))
+        tree.truncate()
+        child_times = [subtree_time(child) for child in tree.root.children]
+        assert subtree_time(tree.root) == 1 + sum(child_times)
+
+
+class TestComputeStats:
+    def test_stats_bundle_consistency(self, small_acl_ruleset):
+        tree = build_with_policy(
+            small_acl_ruleset,
+            lambda node: CutAction(Dimension.SRC_IP, 8),
+            leaf_threshold=8,
+        )
+        stats = compute_stats(tree)
+        assert stats.num_nodes == tree.num_nodes()
+        assert stats.num_leaves == tree.num_leaves()
+        assert stats.depth == tree.depth()
+        # With one tree and unit node costs, classification time = depth + 1.
+        assert stats.classification_time == stats.depth + 1
+        assert stats.bytes_per_rule == pytest.approx(
+            stats.memory_bytes / len(small_acl_ruleset)
+        )
+        assert stats.rule_replication >= 1.0
+        assert set(stats.as_dict()) >= {"classification_time", "bytes_per_rule"}
+
+    def test_deeper_tree_costs_more_time(self, small_fw_ruleset):
+        shallow = build_with_policy(
+            small_fw_ruleset,
+            lambda node: CutAction(Dimension.SRC_IP, 32),
+            leaf_threshold=8,
+            max_depth=2,
+            max_actions=200,
+        )
+        deep = build_with_policy(
+            small_fw_ruleset,
+            lambda node: CutAction(Dimension.SRC_IP, 2),
+            leaf_threshold=8,
+            max_depth=8,
+            max_actions=400,
+        )
+        assert compute_stats(deep).classification_time >= \
+            compute_stats(shallow).classification_time
