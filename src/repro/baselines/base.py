@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.rules.ruleset import RuleSet
 from repro.tree.lookup import ClassifierStats, TreeClassifier
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.dispatch import CompiledClassifier
 
 
 @dataclass(frozen=True)
@@ -33,6 +36,11 @@ class BuildResult:
     def bytes_per_rule(self) -> float:
         return self.stats.bytes_per_rule
 
+    def compiled(self, flow_cache_size: Optional[int] = None
+                 ) -> "CompiledClassifier":
+        """The classifier compiled for the dataplane engine (cached)."""
+        return self.classifier.compile(flow_cache_size=flow_cache_size)
+
 
 class TreeBuilder(abc.ABC):
     """Base class for anything that turns a classifier into decision trees."""
@@ -50,6 +58,12 @@ class TreeBuilder(abc.ABC):
         return BuildResult(
             classifier=classifier, stats=classifier.stats(), algorithm=self.name
         )
+
+    def build_compiled(self, ruleset: RuleSet,
+                       flow_cache_size: Optional[int] = None
+                       ) -> "CompiledClassifier":
+        """Build the tree(s) and compile them for the dataplane engine."""
+        return self.build(ruleset).compile(flow_cache_size=flow_cache_size)
 
 
 def compare_builders(ruleset: RuleSet,

@@ -9,6 +9,8 @@ Python:
 * ``repro train``    — train NeuroCuts on a rule file and save the best tree
   as JSON.
 * ``repro classify`` — classify packets from a trace against a saved tree.
+* ``repro engine-bench`` — compile a classifier for the dataplane engine and
+  measure packets/sec against the interpreter.
 
 Run ``python -m repro.cli --help`` (or the installed ``repro`` script) for
 details.
@@ -80,6 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("tree", type=Path, help="tree JSON from `repro train`")
     classify.add_argument("--num-packets", type=int, default=1000)
     classify.add_argument("--seed", type=int, default=0)
+
+    bench = subparsers.add_parser(
+        "engine-bench",
+        help="benchmark compiled-engine throughput vs the interpreter",
+    )
+    bench.add_argument("--rules", type=Path, default=None,
+                       help="ClassBench filter file (default: generate one)")
+    bench.add_argument("--seed-family", choices=sorted(seed_names()),
+                       default="acl1", help="seed family when generating")
+    bench.add_argument("--num-rules", type=int, default=500)
+    bench.add_argument("--algorithm", default="HiCuts",
+                       help="builder to benchmark (default HiCuts)")
+    bench.add_argument("--num-packets", type=int, default=50_000)
+    bench.add_argument("--binth", type=int, default=8,
+                       help="rules per terminal leaf")
+    bench.add_argument("--flow-cache", type=int, default=None, metavar="N",
+                       help="also time a pass with an N-flow LRU cache")
+    bench.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -175,11 +195,51 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     return 0 if mismatched == 0 else 1
 
 
+def _cmd_engine_bench(args: argparse.Namespace) -> int:
+    from repro.engine.bench import bench_classifier
+
+    if args.num_packets < 1:
+        print("error: --num-packets must be >= 1", file=sys.stderr)
+        return 2
+    if args.flow_cache is not None and args.flow_cache < 1:
+        print("error: --flow-cache must be >= 1", file=sys.stderr)
+        return 2
+    if args.rules is not None:
+        ruleset = rules_io.load(args.rules)
+    else:
+        ruleset = generate_classifier(args.seed_family, args.num_rules,
+                                      seed=args.seed)
+    builders = default_baselines(binth=args.binth)
+    builder = builders.get(args.algorithm)
+    if builder is None:
+        print(f"error: unknown algorithm {args.algorithm!r}; "
+              f"choose from {sorted(builders)}", file=sys.stderr)
+        return 2
+    classifier = builder.build(ruleset)
+    packets = generate_trace(ruleset, num_packets=args.num_packets,
+                             seed=args.seed)
+    result = bench_classifier(classifier, packets,
+                              flow_cache_size=args.flow_cache)
+    print(f"{args.algorithm} on {ruleset.name or args.seed_family} "
+          f"({len(ruleset)} rules, {len(packets)} packets): "
+          f"compiled {result.num_subtrees} search tree(s), "
+          f"{result.compiled_memory_bytes} bytes, "
+          f"compile {result.compile_seconds * 1000:.1f} ms")
+    print(format_table(["engine", "packets/sec", "speedup"], result.rows()))
+    if result.mismatches:
+        print(f"error: {result.mismatches} packets disagree with the "
+              f"interpreter", file=sys.stderr)
+        return 1
+    print(f"speedup: {result.speedup:.1f}x over the interpreter")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compare": _cmd_compare,
     "train": _cmd_train,
     "classify": _cmd_classify,
+    "engine-bench": _cmd_engine_bench,
 }
 
 

@@ -1,0 +1,67 @@
+"""Compiled dataplane engine.
+
+Tree *construction* (NeuroCuts training, the baseline heuristics) produces
+:class:`~repro.tree.lookup.TreeClassifier` objects made of Python ``Node``
+graphs; this package is the *execution* side: it compiles any such
+classifier into flat NumPy structured arrays and classifies whole packet
+batches with vectorised, level-synchronous traversal, an optional LRU flow
+cache, and a throughput benchmark harness.
+
+Typical use::
+
+    compiled = classifier.compile()          # TreeClassifier -> engine
+    matches = compiled.classify_batch(trace) # one Rule (or None) per packet
+
+or, for the raw array path, ``compiled.lookup_batch(values)`` with an
+``(n, 5)`` int64 header matrix.
+"""
+
+from repro.engine.layout import (
+    KIND_CUT,
+    KIND_LEAF,
+    KIND_SPLIT,
+    NODE_DTYPE,
+    NO_MATCH_PRIORITY,
+    RULE_DTYPE,
+    FlatTree,
+    packets_to_array,
+)
+from repro.engine.compile import (
+    MAX_SEARCH_TREES,
+    CompileError,
+    compile_classifier,
+    compile_tree,
+)
+from repro.engine.cache import (
+    DEFAULT_FLOW_CACHE_SIZE,
+    FlowCache,
+    FlowCacheStats,
+)
+from repro.engine.dispatch import CompiledClassifier
+from repro.engine.bench import (
+    INTERPRETER_SAMPLE,
+    EngineBenchResult,
+    bench_classifier,
+)
+
+__all__ = [
+    "KIND_CUT",
+    "KIND_LEAF",
+    "KIND_SPLIT",
+    "NODE_DTYPE",
+    "NO_MATCH_PRIORITY",
+    "RULE_DTYPE",
+    "FlatTree",
+    "packets_to_array",
+    "MAX_SEARCH_TREES",
+    "CompileError",
+    "compile_classifier",
+    "compile_tree",
+    "DEFAULT_FLOW_CACHE_SIZE",
+    "FlowCache",
+    "FlowCacheStats",
+    "CompiledClassifier",
+    "INTERPRETER_SAMPLE",
+    "EngineBenchResult",
+    "bench_classifier",
+]

@@ -1,0 +1,76 @@
+"""LRU flow cache for the compiled engine.
+
+Real dataplanes exploit flow locality: packets of one flow share the same
+5-tuple, so the full tree walk only has to happen once per flow.  The cache
+maps a 5-tuple to the classifier's answer (the index of the matched rule, or
+``-1`` for a miss) and evicts least-recently-used flows beyond its capacity.
+
+The cache must be invalidated when the classifier changes; the dispatcher
+clears it automatically when a recompilation is detected, and callers doing
+in-place rule updates should call :meth:`FlowCache.clear`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Default number of flows kept by a cache when no capacity is given.
+DEFAULT_FLOW_CACHE_SIZE = 4096
+
+FlowKey = Tuple[int, int, int, int, int]
+
+
+@dataclass
+class FlowCacheStats:
+    """Hit/miss counters of one flow cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class FlowCache:
+    """A bounded LRU map from packet 5-tuples to classification results."""
+
+    def __init__(self, capacity: int = DEFAULT_FLOW_CACHE_SIZE) -> None:
+        if capacity < 1:
+            raise ValueError("flow cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = FlowCacheStats()
+        self._entries: "OrderedDict[FlowKey, int]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: FlowKey) -> Optional[int]:
+        """The cached rule index for a flow, or None on a cache miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: FlowKey, rule_index: int) -> None:
+        """Insert or refresh a flow's classification result."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = rule_index
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (keeps the counters)."""
+        self._entries.clear()

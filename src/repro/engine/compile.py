@@ -1,0 +1,311 @@
+"""Compilation of interpreter trees into flat search structures.
+
+Compilation happens in three steps:
+
+1. **Partition expansion** — partition nodes (NeuroCuts' top-node partitions
+   and EffiCuts category splits) require consulting *every* child, which has
+   no place in a single-descent flat tree.  Each partition node is expanded
+   into one independent search tree per child; the dispatcher queries all of
+   them and keeps the highest-priority match, which is exactly the
+   interpreter's partition semantics.
+2. **Normalisation** — every cut-family action is rewritten into the two
+   primitive node shapes the flat layout supports: a multi-dimension cut
+   becomes a chain of single-dimension cut levels (children ordered the same
+   row-major way the interpreter orders the cut's cartesian product), and a
+   split keeps its single boundary point.
+3. **Flattening** — the normalised tree is laid out breadth-first into the
+   structured node array, so every node's children occupy one contiguous
+   index span, and the per-leaf rule lists are concatenated (highest
+   priority first) into the leaf rule table.
+
+The result is a :class:`~repro.engine.dispatch.CompiledClassifier` holding
+one :class:`~repro.engine.layout.FlatTree` per partition of each tree of the
+source classifier.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TreeError
+from repro.rules.rule import Rule
+from repro.tree.actions import CutAction, MultiCutAction, SplitAction
+from repro.tree.node import Node
+from repro.tree.tree import DecisionTree
+from repro.engine.layout import (
+    KIND_CUT,
+    KIND_LEAF,
+    KIND_SPLIT,
+    NODE_DTYPE,
+    RULE_DTYPE,
+    FlatTree,
+)
+
+#: Safety cap on how many search trees one interpreter tree may expand into
+#: (partitions below the top of a tree multiply variants).
+MAX_SEARCH_TREES = 256
+
+
+class CompileError(TreeError):
+    """Raised when a tree cannot be lowered to the flat layout."""
+
+
+# --------------------------------------------------------------------------- #
+# Normalised intermediate nodes
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class _Leaf:
+    rules: List[Rule]
+
+
+@dataclass
+class _Cut:
+    dim: int
+    lo: int
+    base: int
+    rem: int
+    children: List[object] = field(default_factory=list)
+
+
+@dataclass
+class _Split:
+    dim: int
+    point: int
+    children: List[object] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------- #
+# Step 1: partition expansion
+# --------------------------------------------------------------------------- #
+
+def _expand_partitions(node: Node) -> List[Node]:
+    """Expand partition nodes into independent single-descent subtrees.
+
+    Returns the roots of the cut/split-only trees equivalent to ``node``.
+    A partition above the cut structure simply contributes one tree per
+    child; a partition *below* a cut duplicates the path above it once per
+    partition child (each duplicate routes packets to a different member of
+    the partition), which preserves the all-children-consulted semantics.
+    """
+    if node.is_leaf:
+        return [node]
+    if node.is_partition_node:
+        expanded: List[Node] = []
+        for child in node.children:
+            expanded.extend(_expand_partitions(child))
+            if len(expanded) > MAX_SEARCH_TREES:
+                raise CompileError(
+                    "partition structure expands into more than "
+                    f"{MAX_SEARCH_TREES} search trees"
+                )
+        return expanded
+    variant_lists = [_expand_partitions(child) for child in node.children]
+    total = 1
+    for variants in variant_lists:
+        total *= len(variants)
+        if total > MAX_SEARCH_TREES:
+            raise CompileError(
+                "partition structure expands into more than "
+                f"{MAX_SEARCH_TREES} search trees"
+            )
+    if total == 1:
+        return [node]
+    # Cartesian product over per-child variants: each combination is a clone
+    # of this node routing into one member of every nested partition.
+    roots: List[Node] = []
+    indices = [0] * len(variant_lists)
+    for _ in range(total):
+        clone = Node(
+            ranges=node.ranges,
+            rules=node.rules,
+            depth=node.depth,
+            partition_state=node.partition_state,
+            efficuts_category=node.efficuts_category,
+        )
+        clone.action = node.action
+        clone.children = [variants[i] for variants, i
+                          in zip(variant_lists, indices)]
+        roots.append(clone)
+        for pos in range(len(indices) - 1, -1, -1):
+            indices[pos] += 1
+            if indices[pos] < len(variant_lists[pos]):
+                break
+            indices[pos] = 0
+    return roots
+
+
+# --------------------------------------------------------------------------- #
+# Step 2: normalisation
+# --------------------------------------------------------------------------- #
+
+def _cut_params(node: Node, dim: int, num_children: int) -> Tuple[int, int, int]:
+    """(lo, base, rem) of an equal cut of ``node`` along ``dim``."""
+    lo, hi = node.ranges[dim]
+    span = hi - lo
+    if num_children < 2 or span < num_children:
+        raise CompileError(
+            f"cut with {num_children} children over a span of {span} values"
+        )
+    return lo, span // num_children, span % num_children
+
+
+def _normalize(node: Node) -> object:
+    """Rewrite one expanded node into the primitive _Leaf/_Cut/_Split shapes."""
+    if node.is_leaf:
+        # Highest priority first so the first match inside a leaf wins.
+        return _Leaf(rules=sorted(node.rules, key=lambda r: -r.priority))
+    action = node.action
+    children = node.children
+    if isinstance(action, CutAction):
+        lo, base, rem = _cut_params(node, int(action.dimension), len(children))
+        return _Cut(dim=int(action.dimension), lo=lo, base=base, rem=rem,
+                    children=[_normalize(c) for c in children])
+    if isinstance(action, SplitAction):
+        return _Split(dim=int(action.dimension), point=action.split_point,
+                      children=[_normalize(c) for c in children])
+    if isinstance(action, MultiCutAction):
+        return _normalize_multicut(node)
+    raise CompileError(f"cannot compile action {action!r}")
+
+
+def _normalize_multicut(node: Node) -> object:
+    """Decompose a multi-dimension cut into a chain of single-dimension cuts.
+
+    The interpreter orders a multicut's children as the row-major cartesian
+    product of the per-dimension sub-ranges; the chain reproduces that
+    ordering, so grid cell ``(i0, i1, ...)`` resolves to the same child.
+    """
+    assert isinstance(node.action, MultiCutAction)
+    specs = []
+    for dim, requested in node.action.cuts:
+        lo, hi = node.ranges[int(dim)]
+        effective = min(requested, hi - lo)
+        lo, base, rem = _cut_params(node, int(dim), effective)
+        specs.append((int(dim), lo, base, rem, effective))
+    expected = 1
+    for spec in specs:
+        expected *= spec[4]
+    if expected != len(node.children):
+        raise CompileError(
+            f"multicut fan-out mismatch: grid has {expected} cells, "
+            f"node has {len(node.children)} children"
+        )
+
+    def build(level: int, prefix: int) -> _Cut:
+        dim, lo, base, rem, effective = specs[level]
+        cut = _Cut(dim=dim, lo=lo, base=base, rem=rem)
+        for i in range(effective):
+            cell = prefix * effective + i
+            if level == len(specs) - 1:
+                cut.children.append(_normalize(node.children[cell]))
+            else:
+                cut.children.append(build(level + 1, cell))
+        return cut
+
+    return build(0, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Step 3: flattening
+# --------------------------------------------------------------------------- #
+
+def _flatten(root: object, rule_slot: Dict[int, int],
+             rules_out: List[Rule]) -> FlatTree:
+    """Lay a normalised tree out breadth-first into the structured arrays."""
+    queue = deque([(root, 0)])
+    records: List[tuple] = []
+    next_index = 1
+    leaf_rows: List[tuple] = []
+    depth_of = {0: 0}
+    max_depth = 0
+    max_span = 0
+    while queue:
+        node, index = queue.popleft()
+        depth = depth_of.pop(index)
+        max_depth = max(max_depth, depth)
+        if isinstance(node, _Leaf):
+            start = len(leaf_rows)
+            for rule in node.rules:
+                slot = rule_slot.setdefault(id(rule), len(rules_out))
+                if slot == len(rules_out):
+                    rules_out.append(rule)
+                leaf_rows.append(
+                    (
+                        [lo for lo, _ in rule.ranges],
+                        [hi for _, hi in rule.ranges],
+                        rule.priority,
+                        slot,
+                    )
+                )
+            records.append(
+                (KIND_LEAF, 0, 0, 0, 0, 0, 0, 0, start, len(leaf_rows))
+            )
+            max_span = max(max_span, len(node.rules))
+            continue
+        child_start = next_index
+        children = node.children
+        next_index += len(children)
+        for offset, child in enumerate(children):
+            queue.append((child, child_start + offset))
+            depth_of[child_start + offset] = depth + 1
+        if isinstance(node, _Cut):
+            if node.base < 1:
+                raise CompileError("cut node with zero-width children")
+            records.append(
+                (KIND_CUT, node.dim, node.lo, node.base, node.rem, 0,
+                 child_start, len(children), 0, 0)
+            )
+        else:
+            assert isinstance(node, _Split)
+            records.append(
+                (KIND_SPLIT, node.dim, 0, 0, 0, node.point,
+                 child_start, len(children), 0, 0)
+            )
+    nodes = np.array(records, dtype=NODE_DTYPE)
+    leaf_rules = np.array(
+        [tuple(row) for row in leaf_rows], dtype=RULE_DTYPE
+    ) if leaf_rows else np.empty(0, dtype=RULE_DTYPE)
+    return FlatTree(nodes=nodes, leaf_rules=leaf_rules,
+                    depth=max_depth, max_leaf_span=max_span)
+
+
+# --------------------------------------------------------------------------- #
+# Entry points
+# --------------------------------------------------------------------------- #
+
+def compile_tree(tree: DecisionTree, rule_slot: Optional[Dict[int, int]] = None,
+                 rules_out: Optional[List[Rule]] = None) -> List[FlatTree]:
+    """Compile one interpreter tree into its flat search trees."""
+    rule_slot = rule_slot if rule_slot is not None else {}
+    rules_out = rules_out if rules_out is not None else []
+    return [
+        _flatten(_normalize(sub_root), rule_slot, rules_out)
+        for sub_root in _expand_partitions(tree.root)
+    ]
+
+
+def compile_classifier(classifier, flow_cache_size: Optional[int] = None):
+    """Compile a :class:`~repro.tree.lookup.TreeClassifier` for the engine.
+
+    Returns a :class:`~repro.engine.dispatch.CompiledClassifier` that
+    resolves the highest-priority match across every tree and partition in
+    one pass over the compiled search trees.
+    """
+    from repro.engine.dispatch import CompiledClassifier
+
+    rule_slot: Dict[int, int] = {}
+    rules_out: List[Rule] = []
+    subtrees: List[FlatTree] = []
+    for tree in classifier.trees:
+        subtrees.extend(compile_tree(tree, rule_slot, rules_out))
+    return CompiledClassifier(
+        subtrees=subtrees,
+        rules=rules_out,
+        name=classifier.name,
+        flow_cache_size=flow_cache_size,
+    )

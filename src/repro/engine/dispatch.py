@@ -1,0 +1,153 @@
+"""The compiled classifier: multi-tree dispatch over flat search trees.
+
+Partitioned classifiers (EffiCuts categories, NeuroCuts top-node partitions,
+or simply several trees per :class:`~repro.tree.lookup.TreeClassifier`)
+compile into several :class:`~repro.engine.layout.FlatTree` objects sharing
+one distinct-rule list.  The dispatcher runs a batch through every search
+tree and keeps, per packet, the highest-priority match seen — one pass, no
+per-tree intermediate lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.rules.packet import Packet
+from repro.rules.rule import Rule
+from repro.engine.cache import DEFAULT_FLOW_CACHE_SIZE, FlowCache
+from repro.engine.layout import NO_MATCH_PRIORITY, FlatTree, packets_to_array
+
+
+class CompiledClassifier:
+    """A fully compiled packet classifier ready for batched execution."""
+
+    def __init__(
+        self,
+        subtrees: Sequence[FlatTree],
+        rules: Sequence[Rule],
+        name: str = "",
+        flow_cache_size: Optional[int] = None,
+    ) -> None:
+        if not subtrees:
+            raise ValueError("a compiled classifier needs at least one tree")
+        self.subtrees: List[FlatTree] = list(subtrees)
+        self.rules: List[Rule] = list(rules)
+        self.name = name
+        self.flow_cache: Optional[FlowCache] = None
+        if flow_cache_size is not None:
+            self.attach_flow_cache(flow_cache_size)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_subtrees(self) -> int:
+        return len(self.subtrees)
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(tree.num_nodes for tree in self.subtrees)
+
+    @property
+    def depth(self) -> int:
+        return max(tree.depth for tree in self.subtrees)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by every flat array of the compiled representation."""
+        return sum(tree.memory_bytes() for tree in self.subtrees)
+
+    def describe(self) -> str:
+        return (
+            f"CompiledClassifier(name={self.name!r}, "
+            f"subtrees={self.num_subtrees}, nodes={self.num_nodes}, "
+            f"depth={self.depth}, rules={len(self.rules)}, "
+            f"bytes={self.memory_bytes()})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Flow cache management
+    # ------------------------------------------------------------------ #
+
+    def attach_flow_cache(self, capacity: int = DEFAULT_FLOW_CACHE_SIZE) -> FlowCache:
+        """Enable (or resize) the LRU flow cache and return it."""
+        self.flow_cache = FlowCache(capacity)
+        return self.flow_cache
+
+    def detach_flow_cache(self) -> None:
+        self.flow_cache = None
+
+    # ------------------------------------------------------------------ #
+    # Batched lookup
+    # ------------------------------------------------------------------ #
+
+    def match_indices(self, values: np.ndarray) -> np.ndarray:
+        """Per-packet index into :attr:`rules` of the winning rule (-1: none).
+
+        ``values`` is an ``(n, 5)`` int64 header matrix.  Every search tree
+        is consulted and the highest-priority hit wins, matching the
+        interpreter's partition/multi-tree semantics.
+        """
+        n = len(values)
+        best_priority = np.full(n, NO_MATCH_PRIORITY, dtype=np.int64)
+        best_rule = np.full(n, -1, dtype=np.int64)
+        for tree in self.subtrees:
+            rows = tree.lookup(values)
+            found = np.nonzero(rows >= 0)[0]
+            if not found.size:
+                continue
+            hit = tree.leaf_rules[rows[found]]
+            better = hit["priority"] > best_priority[found]
+            winners = found[better]
+            best_priority[winners] = hit["priority"][better]
+            best_rule[winners] = hit["rule_index"][better]
+        return best_rule
+
+    def lookup_batch(self, values: np.ndarray) -> np.ndarray:
+        """Like :meth:`match_indices`, but served through the flow cache.
+
+        Flows repeating *within* the batch are deduplicated: each distinct
+        missing 5-tuple goes through the tree walk once and its result is
+        fanned out to every packet of the flow.
+        """
+        if self.flow_cache is None:
+            return self.match_indices(values)
+        cache = self.flow_cache
+        result = np.empty(len(values), dtype=np.int64)
+        misses: dict = {}  # flow key -> positions awaiting the result
+        for i, row in enumerate(values):
+            key = (int(row[0]), int(row[1]), int(row[2]), int(row[3]), int(row[4]))
+            pending = misses.get(key)
+            if pending is not None:
+                pending.append(i)
+                continue
+            cached = cache.get(key)
+            if cached is None:
+                misses[key] = [i]
+            else:
+                result[i] = cached
+        if misses:
+            first_rows = np.asarray([rows[0] for rows in misses.values()],
+                                    dtype=np.int64)
+            resolved = self.match_indices(values[first_rows])
+            for (key, rows), rule_index in zip(misses.items(), resolved):
+                result[rows] = rule_index
+                cache.put(key, int(rule_index))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Packet-level API (mirrors TreeClassifier)
+    # ------------------------------------------------------------------ #
+
+    def classify_batch(self, packets: Iterable[Packet]) -> List[Optional[Rule]]:
+        """Classify a batch of packets; returns one Rule (or None) each."""
+        values = packets if isinstance(packets, np.ndarray) \
+            else packets_to_array(packets)
+        indices = self.lookup_batch(values)
+        return [self.rules[i] if i >= 0 else None for i in indices]
+
+    def classify(self, packet: Packet) -> Optional[Rule]:
+        """Classify a single packet (uses the flow cache when attached)."""
+        return self.classify_batch([packet])[0]

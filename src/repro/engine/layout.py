@@ -1,0 +1,175 @@
+"""Flat-array layout of a compiled decision tree.
+
+The interpreter in :mod:`repro.tree` walks Python ``Node`` objects one packet
+at a time.  The engine instead stores a tree as two NumPy structured arrays:
+
+* a **node table** (:data:`NODE_DTYPE`) — one row per node, children stored
+  as a contiguous index span so child selection is pure integer arithmetic;
+* a **leaf rule table** (:data:`RULE_DTYPE`) — the per-leaf rule lists
+  concatenated into one array of range rows (replicated rules appear once
+  per leaf holding them, mirroring the interpreter's rule-pointer model).
+
+Node rows come in three kinds.  ``KIND_CUT`` rows describe an equal-width
+cut: the builder distributes a span of ``width`` values over ``k`` children
+as ``rem`` children of ``base + 1`` values followed by ``k - rem`` children
+of ``base`` values, so the child holding value ``v`` is computed directly
+from ``(v - lo, base, rem)`` without touching per-child boxes.  ``KIND_SPLIT``
+rows carry a single boundary point.  ``KIND_LEAF`` rows carry a span into the
+leaf rule table, sorted highest priority first so the first hit wins inside
+a leaf.
+
+A :class:`FlatTree` owns both arrays and implements the vectorised
+level-synchronous lookup: every packet of a batch advances one tree level
+per iteration under a NumPy mask, so the Python-level work is proportional
+to tree depth, not to the number of packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rules.fields import NUM_DIMENSIONS
+
+#: Node kinds stored in the ``kind`` column.
+KIND_LEAF = 0
+KIND_CUT = 1
+KIND_SPLIT = 2
+
+#: One row per tree node.  ``child_start``/``num_children`` delimit the
+#: contiguous child block; ``rule_start``/``rule_end`` delimit the leaf's
+#: span in the rule table (empty for internal nodes).
+NODE_DTYPE = np.dtype(
+    [
+        ("kind", np.int8),
+        ("dim", np.int8),
+        ("lo", np.int64),
+        ("base", np.int64),
+        ("rem", np.int64),
+        ("point", np.int64),
+        ("child_start", np.int32),
+        ("num_children", np.int32),
+        ("rule_start", np.int32),
+        ("rule_end", np.int32),
+    ]
+)
+
+#: One row per rule reference stored in some leaf.  ``rule_index`` points
+#: into the compiled classifier's distinct-rule list.
+RULE_DTYPE = np.dtype(
+    [
+        ("lo", np.int64, (NUM_DIMENSIONS,)),
+        ("hi", np.int64, (NUM_DIMENSIONS,)),
+        ("priority", np.int64),
+        ("rule_index", np.int32),
+    ]
+)
+
+#: Sentinel priority smaller than any real rule priority.
+NO_MATCH_PRIORITY = np.iinfo(np.int64).min
+
+
+@dataclass
+class FlatTree:
+    """One compiled cut/split-only search tree (no partition nodes)."""
+
+    nodes: np.ndarray
+    leaf_rules: np.ndarray
+    depth: int
+    max_leaf_span: int
+
+    def __post_init__(self) -> None:
+        if self.nodes.dtype != NODE_DTYPE:
+            raise TypeError("nodes array must use NODE_DTYPE")
+        if self.leaf_rules.dtype != RULE_DTYPE:
+            raise TypeError("leaf rule array must use RULE_DTYPE")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_leaf_rules(self) -> int:
+        return len(self.leaf_rules)
+
+    def memory_bytes(self) -> int:
+        """Bytes actually held by the flat arrays."""
+        return int(self.nodes.nbytes + self.leaf_rules.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Vectorised lookup
+    # ------------------------------------------------------------------ #
+
+    def descend(self, values: np.ndarray) -> np.ndarray:
+        """Return the leaf node index reached by every packet of a batch.
+
+        ``values`` is an ``(n, 5)`` int64 array of packet headers.  All
+        packets advance one level per iteration; the loop runs at most
+        ``depth`` times regardless of batch size.
+        """
+        nodes = self.nodes
+        cur = np.zeros(len(values), dtype=np.int64)
+        active = nodes["kind"][cur] != KIND_LEAF
+        iterations = 0
+        while active.any():
+            if iterations > self.depth + 1:
+                raise RuntimeError("flat tree deeper than its recorded depth")
+            iterations += 1
+            idx = np.nonzero(active)[0]
+            row = nodes[cur[idx]]
+            v = values[idx, row["dim"]]
+            child = np.empty(len(idx), dtype=np.int64)
+            cut = row["kind"] == KIND_CUT
+            if cut.any():
+                crow = row[cut]
+                offset = v[cut] - crow["lo"]
+                wide = crow["base"] + 1
+                first = offset // wide
+                rest = crow["rem"] + (offset - crow["rem"] * wide) // crow["base"]
+                child[cut] = np.where(first < crow["rem"], first, rest)
+            split = ~cut
+            if split.any():
+                srow = row[split]
+                child[split] = (v[split] >= srow["point"]).astype(np.int64)
+            cur[idx] = row["child_start"] + child
+            active = nodes["kind"][cur] != KIND_LEAF
+        return cur
+
+    def lookup(self, values: np.ndarray) -> np.ndarray:
+        """Classify a batch against this tree.
+
+        Returns an ``(n,)`` int64 array of rows into :attr:`leaf_rules`
+        (``-1`` where the reached leaf matches nothing).  Leaf spans are
+        scanned highest-priority-first in lockstep across the batch, so the
+        Python-level work is bounded by the widest leaf, not the batch size.
+        """
+        leaves = self.descend(values)
+        start = self.nodes["rule_start"][leaves].astype(np.int64)
+        end = self.nodes["rule_end"][leaves].astype(np.int64)
+        matched = np.full(len(values), -1, dtype=np.int64)
+        pending = np.nonzero(start < end)[0]
+        offset = 0
+        rules = self.leaf_rules
+        while pending.size:
+            row = start[pending] + offset
+            in_span = row < end[pending]
+            pending = pending[in_span]
+            if not pending.size:
+                break
+            row = row[in_span]
+            rule = rules[row]
+            v = values[pending]
+            hit = ((rule["lo"] <= v) & (v < rule["hi"])).all(axis=1)
+            matched[pending[hit]] = row[hit]
+            pending = pending[~hit]
+            offset += 1
+        return matched
+
+
+def packets_to_array(packets) -> np.ndarray:
+    """Stack packets (or raw 5-tuples) into the ``(n, 5)`` header matrix."""
+    rows = [tuple(p) for p in packets]
+    if not rows:
+        return np.empty((0, NUM_DIMENSIONS), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)

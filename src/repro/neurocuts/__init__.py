@@ -21,8 +21,10 @@ from repro.neurocuts.reward import (
     RewardCalculator,
     RewardComponents,
     SCALING_FUNCTIONS,
+    floor_discount,
     linear_scaling,
     log_scaling,
+    space_excess,
 )
 from repro.neurocuts.env import NeuroCutsEnv, RolloutResult
 from repro.neurocuts.trainer import (
@@ -56,7 +58,9 @@ __all__ = [
     "RewardComponents",
     "SCALING_FUNCTIONS",
     "linear_scaling",
+    "floor_discount",
     "log_scaling",
+    "space_excess",
     "NeuroCutsEnv",
     "RolloutResult",
     "IterationStats",

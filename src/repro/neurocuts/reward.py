@@ -2,15 +2,37 @@
 
 The return assigned to the decision taken at node ``s`` is::
 
-    R = -(c * f(Time(s)) + (1 - c) * f(Space(s)))
+    R = -(c * f(Time(s)) + (1 - c) * f(Space(s) - d(c) * Floor(s)))
 
 where ``Time(s)`` and ``Space(s)`` are the classification time and memory
 footprint of the completed subtree rooted at ``s`` (Eqs. 1–4), ``c`` is the
-time-space coefficient, and ``f`` is the reward scaling function (identity or
-logarithm).  Rewards are computed only once the tree rollout is complete —
-the "delayed reward" structure the paper highlights — and every recorded
+time-space coefficient, and ``f`` is the reward scaling function (identity
+or logarithm).  Rewards are computed only once the tree rollout is complete
+— the "delayed reward" structure the paper highlights — and every recorded
 1-step decision receives the reward of its own subtree, which is what makes
 the per-node decisions align with the global objective (Eq. 5).
+
+``Floor(s)`` is the irreducible cost of storing each of the node's rules
+exactly once (``RULE_POINTER_BYTES * num_rules``).  No action can reduce
+that floor — it is paid by every correct classifier, including a plain
+linear scan — so charging it to a decision only injects the node's rule
+count into the return as noise the value baseline cannot explain (the
+observation encodes the node's box, not its rule list).  In the
+space-optimised regime (``c -> 0``) — where no time term disciplines the
+tree and the raw-space reward demonstrably fails to learn — the reward
+therefore charges only the controllable *excess*: replication plus
+structural bytes.  That keeps returns comparable across nodes at every
+depth, ranks complete trees exactly as raw ``Space`` does at the root (the
+floor is a per-rollout constant there), and is what makes memory actually
+shrink as ``c`` approaches 0 (Figure 11).
+
+Subtracting a constant floor also *amplifies* the space term's relative
+spread, so applying it in mixed regimes would silently re-weight the
+blended objective toward space (observed as Figure 10's time parity
+breaking at ``c = 0.5``).  The floor discount ``d(c) = max(0, 1 - 2c)``
+therefore fades the correction out linearly, reaching the paper's raw-space
+reward by ``c = 0.5``: pure-space training gets the fix, blended training
+keeps the paper's balance.
 """
 
 from __future__ import annotations
@@ -21,7 +43,7 @@ from typing import Callable, Dict
 
 from repro.exceptions import ConfigError
 from repro.tree.node import Node
-from repro.tree.stats import subtree_space, subtree_time
+from repro.tree.stats import RULE_POINTER_BYTES, subtree_space, subtree_time
 from repro.neurocuts.config import NeuroCutsConfig
 
 
@@ -39,6 +61,28 @@ SCALING_FUNCTIONS: Dict[str, Callable[[float], float]] = {
     "linear": linear_scaling,
     "log": log_scaling,
 }
+
+
+def floor_discount(coefficient: float) -> float:
+    """How much of the rule-storage floor the space reward excludes.
+
+    ``d(c) = max(0, 1 - 2c)``: full exclusion in the pure-space regime,
+    linearly fading to the paper's raw-space reward by ``c = 0.5``.
+    """
+    return max(0.0, 1.0 - 2.0 * coefficient)
+
+
+def space_excess(space: float, num_rules: int,
+                 discount: float = 1.0) -> float:
+    """The controllable part of a subtree's memory footprint.
+
+    Subtracts ``discount`` times the irreducible ``RULE_POINTER_BYTES`` per
+    rule of the subtree's root, clamping at 1 so logarithmic scaling stays
+    defined.  ``discount = 1`` charges pure excess (the space-only regime);
+    ``discount = 0`` charges raw space.
+    """
+    floor = RULE_POINTER_BYTES * max(0, num_rules)
+    return max(1.0, float(space) - discount * floor)
 
 
 @dataclass(frozen=True)
@@ -60,17 +104,32 @@ class RewardCalculator:
         self.scaling = SCALING_FUNCTIONS[config.reward_scaling]
 
     def subtree_reward(self, node: Node) -> RewardComponents:
-        """Reward of the completed subtree rooted at ``node``."""
+        """Reward of the completed subtree rooted at ``node``.
+
+        ``RewardComponents.space`` reports the raw subtree footprint (what
+        the evaluation tabulates); the combined reward charges only the
+        excess over the node's irreducible rule storage.
+        """
         time = float(subtree_time(node))
         space = float(subtree_space(node))
-        return self.combine(time, space)
+        return self.combine(time, space, num_rules=node.num_rules)
 
-    def combine(self, time: float, space: float) -> RewardComponents:
-        """Combine raw time/space into the scalar reward."""
+    def combine(self, time: float, space: float,
+                num_rules: int = 0) -> RewardComponents:
+        """Combine raw time/space into the scalar reward.
+
+        ``num_rules`` is the rule count whose storage floor is excluded from
+        the space term; 0 leaves the space term unreduced.
+        """
         c = self.coefficient
-        reward = -(c * self.scaling(time) + (1.0 - c) * self.scaling(space))
+        reward = -(
+            c * self.scaling(time)
+            + (1.0 - c) * self.scaling(
+                space_excess(space, num_rules, discount=floor_discount(c))
+            )
+        )
         return RewardComponents(time=time, space=space, reward=reward)
 
-    def objective(self, time: float, space: float) -> float:
+    def objective(self, time: float, space: float, num_rules: int = 0) -> float:
         """The minimisation objective (the negation of the reward)."""
-        return -self.combine(time, space).reward
+        return -self.combine(time, space, num_rules=num_rules).reward

@@ -57,6 +57,7 @@ class IncrementalUpdater:
                 self.tree.root.rules.append(rule)
             self.stats.rules_added += 1
             self.stats.leaves_touched += touched
+            self.tree.mark_modified()
         return touched
 
     def remove_rule(self, rule: Rule) -> int:
@@ -74,6 +75,7 @@ class IncrementalUpdater:
             self.tree.ruleset = self.tree.ruleset.with_rules_removed([rule])
             self.stats.rules_removed += 1
             self.stats.leaves_touched += touched
+            self.tree.mark_modified()
         return touched
 
     def needs_retraining(self) -> bool:

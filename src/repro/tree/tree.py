@@ -66,6 +66,8 @@ class DecisionTree:
         self._frontier: List[Node] = []
         self._push_if_unfinished(self.root)
         self._num_actions = 0
+        # Bumped on every structural change; compiled-engine caches key on it.
+        self._version = 0
 
     # ------------------------------------------------------------------ #
     # Construction state machine
@@ -83,6 +85,19 @@ class DecisionTree:
     def num_actions_taken(self) -> int:
         """How many actions have been applied so far."""
         return self._num_actions
+
+    @property
+    def version(self) -> int:
+        """Monotonic structural version (see :meth:`mark_modified`)."""
+        return self._version
+
+    def mark_modified(self) -> None:
+        """Record a structural change so compiled caches are invalidated.
+
+        Construction bumps the version automatically; callers mutating nodes
+        directly (e.g. incremental rule updates) must call this themselves.
+        """
+        self._version += 1
 
     def current_node(self) -> Optional[Node]:
         """The next node to act on (DFS order), or None if the tree is done."""
@@ -112,6 +127,7 @@ class DecisionTree:
         for child in reversed(children):
             self._push_if_unfinished(child)
         self._num_actions += 1
+        self._version += 1
         return children
 
     def truncate(self) -> None:
@@ -124,6 +140,7 @@ class DecisionTree:
             node = self._frontier.pop()
             if node.is_leaf:
                 node.forced_leaf = True
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Traversal and inspection

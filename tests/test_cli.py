@@ -57,3 +57,19 @@ class TestCommands:
                      "--num-packets", "100"])
         assert code == 0
         assert "0 mismatches" in capsys.readouterr().out
+
+
+class TestEngineBench:
+    def test_engine_bench_reports_speedup(self, capsys):
+        code = main(["engine-bench", "--num-rules", "120",
+                     "--num-packets", "3000", "--flow-cache", "512"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compiled" in out
+        assert "speedup" in out
+
+    def test_engine_bench_rejects_unknown_algorithm(self, capsys):
+        code = main(["engine-bench", "--algorithm", "NoSuchCuts",
+                     "--num-rules", "50", "--num-packets", "100"])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err

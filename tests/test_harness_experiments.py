@@ -66,3 +66,21 @@ class TestFigure10Runner:
         assert set(result.time_improvement.per_classifier) == {"acl1_1k"}
         assert "acl1_1k" in result.neurocuts["bytes_per_rule"]
         assert "acl1_1k" in result.efficuts["bytes_per_rule"]
+
+
+class TestThroughput:
+    def test_run_throughput_reports_every_algorithm(self, micro_scale,
+                                                    micro_specs):
+        from repro.harness import run_throughput
+
+        result = run_throughput(micro_scale, specs=micro_specs,
+                                num_packets=2000,
+                                algorithms=("HiCuts", "EffiCuts"))
+        assert {row.algorithm for row in result.rows} == {"HiCuts", "EffiCuts"}
+        for row in result.rows:
+            assert row.interpreter_pps > 0
+            assert row.compiled_pps > 0
+            assert row.compiled_memory_bytes > 0
+            assert row.num_subtrees >= 1
+        assert result.median_speedup() > 0
+        assert len(result.table_rows()) == len(result.rows)

@@ -35,12 +35,53 @@ class TestRewardCalculator:
         assert components.time == 1.0
         assert components.reward == -1.0
 
-    def test_space_only_reward_uses_memory(self, small_acl_ruleset):
+    def test_space_only_reward_charges_excess_over_rule_storage(
+            self, small_acl_ruleset):
+        from repro.tree import NODE_HEADER_BYTES, RULE_POINTER_BYTES
+
         config = NeuroCutsConfig(time_space_coeff=0.0, reward_scaling="linear")
         calc = RewardCalculator(config)
         tree = DecisionTree(small_acl_ruleset, leaf_threshold=len(small_acl_ruleset))
         components = calc.subtree_reward(tree.root)
-        assert components.reward == -components.space
+        # The footprint reported is the raw subtree space, but the reward
+        # only charges the excess over storing each rule once; for a
+        # single-leaf tree that excess is exactly the node header.
+        num_rules = tree.root.num_rules
+        assert components.space == \
+            NODE_HEADER_BYTES + RULE_POINTER_BYTES * num_rules
+        assert components.reward == -NODE_HEADER_BYTES
+
+    def test_space_excess_ranks_trees_like_raw_space(self, small_acl_ruleset):
+        from repro.neurocuts import space_excess
+
+        # At the root the rule count is fixed, so excess space is raw space
+        # minus a constant: orderings of complete trees are unchanged.
+        n = len(small_acl_ruleset)
+        assert space_excess(5000.0, n) - space_excess(4000.0, n) == \
+            pytest.approx(1000.0)
+        # The floor clamps at 1 so log scaling stays defined.
+        assert space_excess(1.0, n) == 1.0
+
+    def test_floor_discount_fades_out_by_half(self):
+        from repro.neurocuts import floor_discount
+
+        # Full floor exclusion in the pure-space regime, the paper's
+        # raw-space reward from c = 0.5 on.
+        assert floor_discount(0.0) == 1.0
+        assert floor_discount(0.25) == pytest.approx(0.5)
+        assert floor_discount(0.5) == 0.0
+        assert floor_discount(1.0) == 0.0
+
+    def test_mixed_reward_matches_raw_space_at_half(self, small_acl_ruleset):
+        import math
+
+        config = NeuroCutsConfig(time_space_coeff=0.5, reward_scaling="log")
+        calc = RewardCalculator(config)
+        tree = DecisionTree(small_acl_ruleset, leaf_threshold=len(small_acl_ruleset))
+        components = calc.subtree_reward(tree.root)
+        expected = -(0.5 * math.log(components.time or 1.0)
+                     + 0.5 * math.log(components.space))
+        assert components.reward == pytest.approx(expected)
 
     def test_mixed_reward_interpolates(self):
         config = NeuroCutsConfig(time_space_coeff=0.5, reward_scaling="log")
