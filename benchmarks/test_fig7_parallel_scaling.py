@@ -1,0 +1,64 @@
+"""Figure 7: rollout-collection throughput vs number of parallel workers.
+
+Paper result: NeuroCuts training scales near-linearly as decision-tree
+rollouts are collected on more parallel workers.
+
+This benchmark reproduces the curve with the actor/learner trainer: for each
+worker count, a persistent process pool collects the same per-round timestep
+budget sharded across its workers, and throughput (timesteps/sec and
+rollouts/sec) is measured over several steady-state rounds after a warm-up.
+
+The throughput assertion (>= 2x at 4 workers vs serial) only makes sense
+with enough physical parallelism, so it is gated on the CPUs actually
+available to this process; the structural shape of the result is asserted
+everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness import run_scaling, series_table
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_figure7_parallel_scaling(scale, run_once):
+    worker_counts = (1, 2, 4)
+    result = run_once(run_scaling, scale, worker_counts=worker_counts)
+
+    print("\n=== Figure 7: rollout-collection scaling ===")
+    print(f"classifier: {result.classifier}, "
+          f"{result.timesteps_per_round} timesteps/round x {result.rounds} rounds")
+    print(series_table(result.series()))
+
+    # Structural checks: one point per worker count, everything positive,
+    # and the 1-worker point is the speedup baseline by construction.
+    assert [p.workers for p in result.points] == list(worker_counts)
+    for point in result.points:
+        assert point.timesteps_per_sec > 0
+        assert point.rollouts_per_sec > 0
+        assert point.wall_time_s > 0
+    assert result.speedup_at(1) == 1.0
+
+    # Throughput: the acceptance bar is >= 2x at 4 workers vs serial, which
+    # requires real cores to parallelise over.
+    cpus = _available_cpus()
+    if cpus >= 4:
+        assert result.speedup_at(4) >= 2.0, (
+            f"expected >= 2x rollout throughput at 4 workers on {cpus} CPUs, "
+            f"got {result.speedup_at(4):.2f}x"
+        )
+    elif cpus >= 2:
+        assert result.speedup_at(2) >= 1.3, (
+            f"expected parallel speedup at 2 workers on {cpus} CPUs, "
+            f"got {result.speedup_at(2):.2f}x"
+        )
+    else:
+        print(f"only {cpus} CPU available; skipping the speedup assertion "
+              f"(process parallelism cannot beat serial on one core)")

@@ -8,7 +8,10 @@ Classification* (Liang, Zhu, Jin, Stoica — SIGCOMM 2019).  It provides:
 * :mod:`repro.tree` — the decision-tree engine shared by all algorithms.
 * :mod:`repro.baselines` — HiCuts, HyperCuts, EffiCuts, CutSplit and more.
 * :mod:`repro.nn` / :mod:`repro.rl` — a numpy neural-network and PPO substrate.
-* :mod:`repro.neurocuts` — the NeuroCuts RL formulation and trainer.
+* :mod:`repro.neurocuts` — the NeuroCuts RL formulation, sharded rollout
+  workers, and the actor/learner trainer.
+* :mod:`repro.executors` — backend-pluggable task executors (serial /
+  persistent process pools) shared by training and the harness.
 * :mod:`repro.metrics` / :mod:`repro.harness` — evaluation metrics and the
   experiment harness used by the benchmark suite.
 """

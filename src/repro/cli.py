@@ -74,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("none", "simple", "efficuts"))
     train.add_argument("--leaf-threshold", type=int, default=16)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--workers", type=int, default=1,
+                       help="rollout workers collecting experience shards in "
+                            "parallel (1 = serial collection)")
 
     classify = subparsers.add_parser(
         "classify", help="classify sampled packets against a saved tree"
@@ -127,6 +130,7 @@ def _training_config(args: argparse.Namespace) -> NeuroCutsConfig:
         learning_rate=1e-3,
         leaf_threshold=getattr(args, "leaf_threshold", 16),
         seed=getattr(args, "seed", 0),
+        num_rollout_workers=getattr(args, "workers", 1),
     )
 
 
@@ -140,7 +144,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                      result.stats.num_trees, result.stats.num_nodes])
     if args.with_neurocuts:
         config = _training_config(args)
-        result = NeuroCutsTrainer(ruleset, config).train()
+        with NeuroCutsTrainer(ruleset, config) as trainer:
+            result = trainer.train()
         stats = result.best_classifier().stats()
         rows.append(["NeuroCuts", stats.classification_time,
                      round(stats.bytes_per_rule, 1),
@@ -152,10 +157,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     ruleset = rules_io.load(args.rules)
     config = _training_config(args)
-    trainer = NeuroCutsTrainer(ruleset, config)
-    result = trainer.train()
+    with NeuroCutsTrainer(ruleset, config) as trainer:
+        result = trainer.train()
     classifier = result.best_classifier()
     report = validate_classifier(classifier, num_random_packets=300)
     if not report.is_correct:
@@ -166,6 +174,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(json.dumps({
         "timesteps": result.timesteps_total,
         "iterations": len(result.history),
+        "workers": config.num_rollout_workers,
         "classification_time": stats.classification_time,
         "bytes_per_rule": round(stats.bytes_per_rule, 2),
         "depth": stats.depth,

@@ -1,0 +1,208 @@
+"""Backend-pluggable task executors (the actor half of actor/learner training).
+
+The paper scales NeuroCuts by collecting decision-tree rollouts on many
+parallel workers (Figure 7).  This module is the execution substrate for that
+and for harness suite-parallelism: a small :class:`RolloutExecutor` interface
+with two backends —
+
+* :class:`SerialExecutor` — runs tasks inline in the calling process.  Serial
+  execution is a first-class backend, not a degenerate case: determinism
+  tests and incremental deployments rely on it producing byte-identical
+  results to a one-worker pool.
+* :class:`ProcessPoolExecutor` — a *persistent* spawn-based process pool.
+  The pool is created lazily on first use and reused across ``map`` calls,
+  so per-iteration work (e.g. one PPO batch worth of rollout shards) does not
+  pay process start-up and initializer costs every time.
+
+Both backends accept an ``initializer`` so worker processes can build
+expensive per-worker state (an environment plus a policy replica) once and
+serve many tasks from it; task payloads then only need to carry what changes
+per call (a weight snapshot, a seed, a budget).
+
+This module deliberately has no dependencies on the rest of the package so
+any layer (``neurocuts``, ``harness``, user code) can import it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import multiprocessing.pool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Backend names accepted by :func:`make_executor`.
+EXECUTOR_BACKENDS = ("serial", "process")
+
+
+class RolloutExecutor:
+    """Abstract executor: maps a function over items on some backend.
+
+    Implementations must preserve input order in the returned list and may
+    hold persistent resources; callers that own an executor should call
+    :meth:`shutdown` (or use it as a context manager) when done.
+    """
+
+    #: Number of concurrent workers this executor can run (1 for serial).
+    num_workers: int = 1
+
+    def map(self, func: Callable[[T], R], items: Sequence[T],
+            chunk_size: int = 1) -> List[R]:
+        """Apply ``func`` to every item, returning results in input order."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any persistent resources (idempotent)."""
+
+    def __enter__(self) -> "RolloutExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class SerialExecutor(RolloutExecutor):
+    """Runs every task inline in the calling process.
+
+    The ``initializer`` (if any) runs lazily in the calling process before
+    the first task, mirroring the per-process set-up a pool backend performs
+    in each worker.
+    """
+
+    num_workers = 1
+
+    def __init__(self, initializer: Optional[Callable[..., None]] = None,
+                 initargs: Tuple = ()) -> None:
+        self._initializer = initializer
+        self._initargs = initargs
+        self._initialized = initializer is None
+
+    def map(self, func: Callable[[T], R], items: Sequence[T],
+            chunk_size: int = 1) -> List[R]:
+        if not self._initialized:
+            assert self._initializer is not None
+            self._initializer(*self._initargs)
+            self._initialized = True
+        return [func(item) for item in items]
+
+
+class ProcessPoolExecutor(RolloutExecutor):
+    """A persistent spawn-based process pool behind the executor interface.
+
+    Unlike ``multiprocessing.Pool`` used as a one-shot context manager, the
+    pool here survives across :meth:`map` calls: worker processes (and
+    whatever state their ``initializer`` built) are reused until
+    :meth:`shutdown`.
+
+    Args:
+        num_workers: number of worker processes (>= 1).
+        initializer: optional callable run once in every worker process.
+        initargs: arguments for ``initializer``.
+        context_method: multiprocessing start method (default ``"spawn"``,
+            the only method that is safe with threaded BLAS and consistent
+            across platforms).
+    """
+
+    def __init__(self, num_workers: int,
+                 initializer: Optional[Callable[..., None]] = None,
+                 initargs: Tuple = (),
+                 context_method: str = "spawn") -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = int(num_workers)
+        self._initializer = initializer
+        self._initargs = initargs
+        self._context_method = context_method
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            context = multiprocessing.get_context(self._context_method)
+            self._pool = context.Pool(
+                self.num_workers,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._pool
+
+    @property
+    def is_running(self) -> bool:
+        """True once the pool has been started and not yet shut down."""
+        return self._pool is not None
+
+    def map(self, func: Callable[[T], R], items: Sequence[T],
+            chunk_size: int = 1) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        pool = self._ensure_pool()
+        return pool.map(func, items, chunksize=max(1, int(chunk_size)))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def make_executor(num_workers: int,
+                  backend: Optional[str] = None,
+                  initializer: Optional[Callable[..., None]] = None,
+                  initargs: Tuple = ()) -> RolloutExecutor:
+    """Build an executor for ``num_workers`` workers.
+
+    ``backend`` may be ``"serial"``, ``"process"``, or ``None`` to pick
+    automatically (serial for one worker, a process pool otherwise).
+    """
+    if backend is None:
+        backend = "serial" if num_workers <= 1 else "process"
+    if backend not in EXECUTOR_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {EXECUTOR_BACKENDS}, got {backend!r}"
+        )
+    if backend == "serial":
+        return SerialExecutor(initializer=initializer, initargs=initargs)
+    return ProcessPoolExecutor(num_workers, initializer=initializer,
+                               initargs=initargs)
+
+
+# --------------------------------------------------------------------------- #
+# Shared executors: process pools reused across unrelated map calls
+# --------------------------------------------------------------------------- #
+
+_SHARED_EXECUTORS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def shared_executor(num_workers: int) -> RolloutExecutor:
+    """A process-pool executor shared by all callers needing this width.
+
+    Used by :func:`repro.harness.parallel.parallel_map` so repeated harness
+    calls reuse one persistent pool per worker count instead of spawning a
+    fresh pool every call.  Shared executors carry no initializer (tasks must
+    be self-contained) and live until :func:`shutdown_shared_executors` or
+    interpreter exit.
+    """
+    if num_workers <= 1:
+        return SerialExecutor()
+    executor = _SHARED_EXECUTORS.get(num_workers)
+    if executor is None:
+        executor = ProcessPoolExecutor(num_workers)
+        _SHARED_EXECUTORS[num_workers] = executor
+    return executor
+
+
+def shutdown_shared_executors() -> None:
+    """Terminate every shared pool (they are recreated lazily if needed)."""
+    for executor in list(_SHARED_EXECUTORS.values()):
+        executor.shutdown()
+    _SHARED_EXECUTORS.clear()
+
+
+atexit.register(shutdown_shared_executors)

@@ -30,6 +30,7 @@ from repro.metrics.summary import (
 from repro.neurocuts.config import NeuroCutsConfig
 from repro.neurocuts.trainer import NeuroCutsBuilder, NeuroCutsTrainer
 from repro.neurocuts.visualize import TreeProfile, profile_tree
+from repro.harness.parallel import parallel_map
 from repro.harness.scales import ExperimentScale, TINY
 
 #: Names of the four baseline algorithms in paper order.
@@ -67,28 +68,64 @@ class ComparisonResult:
         ]
 
 
+def _build_suite_entry(task: Tuple[ClassifierSpec, int,
+                                   NeuroCutsConfig, str]) -> Dict[str, float]:
+    """Build one suite entry with every algorithm (one parallelisable task)."""
+    import multiprocessing
+
+    spec, leaf_threshold, neurocuts_config, metric = task
+    if multiprocessing.current_process().daemon and (
+            neurocuts_config.num_rollout_workers > 1
+            or neurocuts_config.rollout_backend == "process"):
+        # Suite-level pool workers are daemonic and cannot spawn a nested
+        # rollout pool; fall back to serial in-process rollout collection.
+        # Shard seeds depend on the worker count, so this changes the
+        # training trajectory vs a non-parallel suite run — warn loudly.
+        import warnings
+
+        warnings.warn(
+            f"suite parallelism downgraded NeuroCuts rollout collection for "
+            f"{spec.label} to 1 serial worker (nested process pools are not "
+            f"allowed); training results will differ from a "
+            f"num_rollout_workers={neurocuts_config.num_rollout_workers} run",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        neurocuts_config = replace_config(
+            neurocuts_config, num_rollout_workers=1, rollout_backend="serial"
+        )
+    builders: Dict[str, TreeBuilder] = dict(_baseline_builders(leaf_threshold))
+    builders["NeuroCuts"] = NeuroCutsBuilder(config=neurocuts_config)
+    ruleset = spec.materialize()
+    return {
+        name: float(getattr(builder.build_with_stats(ruleset).stats, metric))
+        for name, builder in builders.items()
+    }
+
+
 def run_suite_comparison(
     scale: ExperimentScale = TINY,
     metric: str = "classification_time",
     neurocuts_config: Optional[NeuroCutsConfig] = None,
     specs: Optional[Sequence[ClassifierSpec]] = None,
+    num_workers: Optional[int] = None,
 ) -> ComparisonResult:
     """Build every classifier with every algorithm and collect one metric.
 
     ``metric`` is ``"classification_time"`` (Figure 8) or ``"bytes_per_rule"``
-    (Figure 9).
+    (Figure 9).  ``num_workers > 1`` distributes suite entries over the
+    shared persistent process pool (one entry per task).
     """
     specs = list(specs) if specs is not None else scale.specs()
-    builders: Dict[str, TreeBuilder] = dict(_baseline_builders(scale.leaf_threshold))
-    builders["NeuroCuts"] = NeuroCutsBuilder(
-        config=neurocuts_config or scale.neurocuts_config()
-    )
-    values: Dict[str, Dict[str, float]] = {name: {} for name in builders}
-    for spec in specs:
-        ruleset = spec.materialize()
-        for name, builder in builders.items():
-            result = builder.build_with_stats(ruleset)
-            values[name][spec.label] = float(getattr(result.stats, metric))
+    neurocuts_config = neurocuts_config or scale.neurocuts_config()
+    tasks = [(spec, scale.leaf_threshold, neurocuts_config, metric)
+             for spec in specs]
+    per_spec = parallel_map(_build_suite_entry, tasks, num_workers=num_workers)
+    algorithms = (*BASELINE_NAMES, "NeuroCuts")
+    values: Dict[str, Dict[str, float]] = {name: {} for name in algorithms}
+    for spec, entry in zip(specs, per_spec):
+        for name, value in entry.items():
+            values[name][spec.label] = value
     baseline_min = best_baseline(values, exclude=("NeuroCuts",))
     summary = summarize_improvements(values["NeuroCuts"], baseline_min)
     return ComparisonResult(
@@ -100,24 +137,28 @@ def run_suite_comparison(
 
 
 def run_figure8(scale: ExperimentScale = TINY,
-                specs: Optional[Sequence[ClassifierSpec]] = None) -> ComparisonResult:
+                specs: Optional[Sequence[ClassifierSpec]] = None,
+                num_workers: Optional[int] = None) -> ComparisonResult:
     """Figure 8: classification time, NeuroCuts time-optimised (c = 1)."""
     config = scale.neurocuts_config(
         time_space_coeff=1.0, partition_mode="none", reward_scaling="linear"
     )
     return run_suite_comparison(
-        scale, metric="classification_time", neurocuts_config=config, specs=specs
+        scale, metric="classification_time", neurocuts_config=config,
+        specs=specs, num_workers=num_workers,
     )
 
 
 def run_figure9(scale: ExperimentScale = TINY,
-                specs: Optional[Sequence[ClassifierSpec]] = None) -> ComparisonResult:
+                specs: Optional[Sequence[ClassifierSpec]] = None,
+                num_workers: Optional[int] = None) -> ComparisonResult:
     """Figure 9: bytes per rule, NeuroCuts space-optimised (c = 0)."""
     config = scale.neurocuts_config(
         time_space_coeff=0.0, partition_mode="efficuts", reward_scaling="log"
     )
     return run_suite_comparison(
-        scale, metric="bytes_per_rule", neurocuts_config=config, specs=specs
+        scale, metric="bytes_per_rule", neurocuts_config=config,
+        specs=specs, num_workers=num_workers,
     )
 
 
@@ -250,22 +291,22 @@ def run_figure5(scale: ExperimentScale = TINY, seed_name: str = "fw5",
     config = scale.neurocuts_config(
         time_space_coeff=1.0, partition_mode="none", reward_scaling="linear"
     )
-    trainer = NeuroCutsTrainer(ruleset, config)
     snapshots: List[TreeProfile] = []
     snapshot_iters: List[int] = []
     best_depths: List[float] = []
     total_iterations = 0
-    # Train iteration by iteration so we can snapshot the policy's trees.
-    while trainer._timesteps_total < config.max_timesteps_total:
-        trainer.train(max_iterations=total_iterations + 1)
-        total_iterations += 1
-        best_depths.append(trainer.result().best_time)
-        if len(snapshots) < num_snapshots:
-            tree = trainer.sample_trees(1)[0]
-            snapshots.append(profile_tree(tree))
-            snapshot_iters.append(total_iterations)
-    # Always snapshot the final best tree as the last entry.
-    final = trainer.result()
+    with NeuroCutsTrainer(ruleset, config) as trainer:
+        # Train iteration by iteration so we can snapshot the policy's trees.
+        while trainer._timesteps_total < config.max_timesteps_total:
+            trainer.train(max_iterations=total_iterations + 1)
+            total_iterations += 1
+            best_depths.append(trainer.result().best_time)
+            if len(snapshots) < num_snapshots:
+                tree = trainer.sample_trees(1)[0]
+                snapshots.append(profile_tree(tree))
+                snapshot_iters.append(total_iterations)
+        # Always snapshot the final best tree as the last entry.
+        final = trainer.result()
     snapshots.append(profile_tree(final.best_tree))
     snapshot_iters.append(total_iterations)
     hicuts = HiCutsBuilder(binth=scale.leaf_threshold).build_with_stats(ruleset)
@@ -303,9 +344,9 @@ def run_figure6(scale: ExperimentScale = TINY, seed_name: str = "acl4",
     config = scale.neurocuts_config(
         time_space_coeff=1.0, partition_mode="none", reward_scaling="linear"
     )
-    trainer = NeuroCutsTrainer(ruleset, config)
-    trainer.train()
-    trees = trainer.sample_trees(num_variations)
+    with NeuroCutsTrainer(ruleset, config) as trainer:
+        trainer.train()
+        trees = trainer.sample_trees(num_variations)
     profiles = [profile_tree(tree) for tree in trees]
     objectives = [float(profile.depth) for profile in profiles]
     return TreeVariationsResult(profiles=profiles, objectives=objectives)
@@ -389,6 +430,113 @@ def run_throughput(
                 )
             )
     return ThroughputResult(rows=rows, num_packets=num_packets)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7: rollout-collection scaling with parallel workers
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class ScalingPoint:
+    """Rollout-collection throughput at one worker count (Figure 7)."""
+
+    workers: int
+    rollouts_per_sec: float
+    timesteps_per_sec: float
+    wall_time_s: float
+    #: Throughput relative to the sweep's baseline point: the 1-worker
+    #: (serial) point when the sweep includes one, else the point with the
+    #: fewest workers.
+    speedup: float
+
+
+@dataclass
+class ScalingResult:
+    """The Figure 7 sweep: throughput vs number of rollout workers."""
+
+    classifier: str
+    points: List[ScalingPoint]
+    rounds: int
+    timesteps_per_round: int
+
+    def series(self) -> Dict[str, List[float]]:
+        return {
+            "workers": [float(p.workers) for p in self.points],
+            "timesteps_per_sec": [p.timesteps_per_sec for p in self.points],
+            "rollouts_per_sec": [p.rollouts_per_sec for p in self.points],
+            "speedup": [p.speedup for p in self.points],
+        }
+
+    def speedup_at(self, workers: int) -> float:
+        """Speedup of the point collected with ``workers`` workers."""
+        for point in self.points:
+            if point.workers == workers:
+                return point.speedup
+        raise KeyError(f"no scaling point for {workers} workers")
+
+
+def run_scaling(
+    scale: ExperimentScale = TINY,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    rounds: int = 3,
+    spec: Optional[ClassifierSpec] = None,
+    neurocuts_config: Optional[NeuroCutsConfig] = None,
+) -> ScalingResult:
+    """Figure 7: rollout-collection throughput vs parallel workers.
+
+    For each worker count a fresh actor/learner trainer collects ``rounds``
+    PPO batches worth of rollouts (same per-round timestep budget at every
+    width, sharded across the workers) through a persistent executor.  A
+    warm-up round is collected first so pool start-up and initializer costs
+    are excluded from the timed region, matching the paper's steady-state
+    rollouts/sec measurement.  No PPO updates run — the experiment isolates
+    the actor side that Figure 7 parallelises.
+    """
+    import time
+
+    spec = spec if spec is not None else scale.specs()[0]
+    ruleset = spec.materialize()
+    points: List[ScalingPoint] = []
+    base_config = neurocuts_config or scale.neurocuts_config()
+    for workers in worker_counts:
+        config = replace_config(base_config, num_rollout_workers=int(workers),
+                                max_timesteps_total=10 ** 9,
+                                convergence_patience=None)
+        with NeuroCutsTrainer(ruleset, config) as trainer:
+            trainer.collect_batch()  # warm-up: spawn pool, build workers
+            start = time.perf_counter()
+            steps = rollouts = 0
+            for _ in range(rounds):
+                _, summaries = trainer.collect_batch()
+                steps += sum(s.num_steps for s in summaries)
+                rollouts += len(summaries)
+            elapsed = time.perf_counter() - start
+        points.append(
+            ScalingPoint(
+                workers=int(workers),
+                rollouts_per_sec=rollouts / elapsed,
+                timesteps_per_sec=steps / elapsed,
+                wall_time_s=elapsed,
+                speedup=1.0,
+            )
+        )
+    baseline = next((p for p in points if p.workers == 1),
+                    min(points, key=lambda p: p.workers))
+    for point in points:
+        point.speedup = point.timesteps_per_sec / baseline.timesteps_per_sec
+    return ScalingResult(
+        classifier=spec.label,
+        points=points,
+        rounds=rounds,
+        timesteps_per_round=base_config.timesteps_per_batch,
+    )
+
+
+def replace_config(config: NeuroCutsConfig, **overrides) -> NeuroCutsConfig:
+    """A copy of a NeuroCuts config with some fields replaced (re-validated)."""
+    import dataclasses
+
+    return dataclasses.replace(config, **overrides)
 
 
 # --------------------------------------------------------------------------- #

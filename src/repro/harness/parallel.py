@@ -1,38 +1,72 @@
 """Parallel execution helpers (the Figure 7 scaling story, CPU-process style).
 
 The paper parallelises NeuroCuts by generating decision-tree rollouts from
-the current policy on many workers (Figure 7).  This module provides a small
-process-pool map used by the harness to build independent classifiers (one
-suite entry per process) in parallel; it degrades gracefully to serial
-execution when only one worker is requested or the work items are few.
+the current policy on many workers (Figure 7).  The rollout side of that
+lives in :mod:`repro.neurocuts.workers`; this module covers the harness side
+— mapping independent suite entries (one classifier build per task) over the
+same backend-pluggable executor layer (:mod:`repro.executors`).
+
+Historically ``parallel_map`` built a fresh spawn ``multiprocessing.Pool``
+for every call, paying process start-up per call.  It now routes through
+:func:`repro.executors.shared_executor`, which keeps one persistent pool per
+worker count alive across calls; pass an explicit ``executor`` to control
+the lifecycle (or the backend) yourself.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.executors import (
+    ProcessPoolExecutor,
+    RolloutExecutor,
+    SerialExecutor,
+    make_executor,
+    shared_executor,
+    shutdown_shared_executors,
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+__all__ = [
+    "ProcessPoolExecutor",
+    "RolloutExecutor",
+    "SerialExecutor",
+    "default_worker_count",
+    "make_executor",
+    "parallel_map",
+    "shared_executor",
+    "shutdown_shared_executors",
+]
+
 
 def parallel_map(func: Callable[[T], R], items: Sequence[T],
                  num_workers: Optional[int] = None,
-                 chunk_size: int = 1) -> List[R]:
+                 chunk_size: int = 1,
+                 executor: Optional[RolloutExecutor] = None) -> List[R]:
     """Apply ``func`` to every item, using a process pool when it helps.
 
     Args:
         func: a picklable callable (top-level function or functools.partial).
         items: the work items.
         num_workers: process count; ``None`` or 1 means serial execution.
-        chunk_size: work items per task submitted to the pool.
+            Ignored when ``executor`` is given.
+        chunk_size: work items per task submitted to a pool backend.
+        executor: an explicit executor to run on.  When omitted, a shared
+            persistent pool for ``num_workers`` is used (serial if <= 1 or
+            the work is trivial); shared pools are reused across calls and
+            torn down at interpreter exit.
     """
     items = list(items)
-    if num_workers is None or num_workers <= 1 or len(items) <= 1:
-        return [func(item) for item in items]
-    workers = min(num_workers, len(items))
-    with multiprocessing.get_context("spawn").Pool(workers) as pool:
-        return pool.map(func, items, chunksize=max(1, chunk_size))
+    if executor is None:
+        if num_workers is None or num_workers <= 1 or len(items) <= 1:
+            return [func(item) for item in items]
+        # Key the shared pool on the requested width (not the item count):
+        # varying item counts must reuse one pool, not accumulate several.
+        executor = shared_executor(num_workers)
+    return executor.map(func, items, chunk_size=chunk_size)
 
 
 def default_worker_count(cap: int = 8) -> int:

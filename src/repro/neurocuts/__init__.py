@@ -5,6 +5,7 @@ from repro.neurocuts.config import (
     PARTITION_MODES,
     REWARD_MODES,
     REWARD_SCALING,
+    ROLLOUT_BACKENDS,
 )
 from repro.neurocuts.action_space import (
     ActionSpec,
@@ -27,6 +28,15 @@ from repro.neurocuts.reward import (
     space_excess,
 )
 from repro.neurocuts.env import NeuroCutsEnv, RolloutResult
+from repro.neurocuts.workers import (
+    RolloutShard,
+    RolloutSummary,
+    RolloutWorker,
+    ShardRequest,
+    make_rollout_executor,
+    shard_budgets,
+    shard_seeds,
+)
 from repro.neurocuts.trainer import (
     IterationStats,
     NeuroCutsBuilder,
@@ -63,6 +73,14 @@ __all__ = [
     "space_excess",
     "NeuroCutsEnv",
     "RolloutResult",
+    "ROLLOUT_BACKENDS",
+    "RolloutShard",
+    "RolloutSummary",
+    "RolloutWorker",
+    "ShardRequest",
+    "make_rollout_executor",
+    "shard_budgets",
+    "shard_seeds",
     "IterationStats",
     "NeuroCutsBuilder",
     "NeuroCutsTrainer",

@@ -26,6 +26,9 @@ REWARD_SCALING: Tuple[str, ...] = ("linear", "log")
 #: the ablation where every decision receives only the whole-tree reward.
 REWARD_MODES: Tuple[str, ...] = ("subtree", "root")
 
+#: Rollout-collection backends (None = pick from the worker count).
+ROLLOUT_BACKENDS: Tuple[Optional[str], ...] = (None, "serial", "process")
+
 
 @dataclass
 class NeuroCutsConfig:
@@ -46,6 +49,14 @@ class NeuroCutsConfig:
     * ``leaf_threshold`` — rules per terminal leaf (shared with baselines).
     * ``partition_top_levels`` — tree levels at which partition actions stay
       unmasked (the paper prohibits partitioning at lower levels).
+
+    Beyond Table 1, the actor/learner knobs (the paper's Figure 7 scaling
+    setup):
+
+    * ``num_rollout_workers`` — how many rollout shards each PPO batch is
+      scattered over.
+    * ``rollout_backend`` — ``None`` (auto: serial for one worker, a
+      persistent process pool otherwise), ``"serial"``, or ``"process"``.
     """
 
     time_space_coeff: float = 1.0
@@ -72,6 +83,10 @@ class NeuroCutsConfig:
     seed: int = 0
     #: Stop training early once this many rollouts produced no improvement.
     convergence_patience: Optional[int] = None
+    #: Rollout shards per PPO batch (1 = classic single-process collection).
+    num_rollout_workers: int = 1
+    #: Executor backend for rollout collection (None = auto).
+    rollout_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -109,6 +124,13 @@ class NeuroCutsConfig:
             raise ConfigError("partition_top_levels must be >= 0")
         if not 0.0 < self.efficuts_largeness_threshold < 1.0:
             raise ConfigError("efficuts_largeness_threshold must be in (0, 1)")
+        if self.num_rollout_workers < 1:
+            raise ConfigError("num_rollout_workers must be >= 1")
+        if self.rollout_backend not in ROLLOUT_BACKENDS:
+            raise ConfigError(
+                f"rollout_backend must be one of {ROLLOUT_BACKENDS}, "
+                f"got {self.rollout_backend!r}"
+            )
 
     def ppo_config(self) -> PPOConfig:
         """The PPO learner configuration implied by this NeuroCuts config."""

@@ -1,32 +1,56 @@
 """The NeuroCuts training driver (Algorithm 1 + the PPO realisation of §5).
 
-The trainer ties together the environment (tree rollouts with delayed
-subtree rewards), the shared-trunk actor-critic network, and the PPO learner.
-Each training iteration collects at least ``timesteps_per_batch`` decision
-steps worth of rollouts, runs a PPO update, and tracks the best tree seen so
-far under the configured time/space objective — the artifact the evaluation
-section reports.
+The trainer is the *learner* of an actor/learner architecture (the paper's
+Figure 7 scaling design).  Each iteration it broadcasts a flat snapshot of
+the policy weights, scatters per-worker seeds and timestep budgets to
+:class:`~repro.neurocuts.workers.RolloutWorker` shards running on a
+backend-pluggable executor (serial in-process by default, a persistent
+process pool for ``num_rollout_workers > 1``), gathers and concatenates the
+experience shards, runs the PPO update centrally, and tracks the best tree
+seen so far under the configured time/space objective — the artifact the
+evaluation section reports.
+
+Shard collection is a pure function of (weights, seed, budget), so for a
+fixed configuration the serial backend and a one-worker process pool produce
+byte-identical training histories.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.exceptions import BuildError
+from repro.exceptions import BuildError, CheckpointError
 from repro.rules.ruleset import RuleSet
+from repro.nn.checkpoints import load_training_checkpoint, save_checkpoint
 from repro.nn.model import ActorCriticMLP
 from repro.rl.batch import SampleBatch
 from repro.rl.policy import Policy
 from repro.rl.ppo import PPOLearner, PPOStats
 from repro.tree.lookup import TreeClassifier
+from repro.tree.serialize import tree_from_dict, tree_to_dict
 from repro.tree.tree import DecisionTree
 from repro.baselines.base import TreeBuilder
+from repro.executors import RolloutExecutor
 from repro.neurocuts.config import NeuroCutsConfig
 from repro.neurocuts.env import NeuroCutsEnv, RolloutResult
+from repro.neurocuts.reward import RewardComponents
+from repro.neurocuts.workers import (
+    RolloutSummary,
+    ShardRequest,
+    _collect_shard,
+    allocate_session,
+    broadcast_weights,
+    discard_session,
+    make_rollout_executor,
+    shard_budgets,
+    shard_seeds,
+)
 
 
 @dataclass
@@ -67,10 +91,27 @@ class TrainingResult:
 
 
 class NeuroCutsTrainer:
-    """Trains a NeuroCuts policy for one classifier and extracts its best tree."""
+    """Trains a NeuroCuts policy for one classifier and extracts its best tree.
+
+    Args:
+        ruleset: the classifier to learn a tree for.
+        config: training configuration; ``config.num_rollout_workers``
+            controls rollout sharding.
+        executor: optional pre-built executor to collect shards on.  When
+            omitted the trainer owns one sized from the config (serial for
+            one worker, a persistent spawn pool otherwise) and tears it down
+            in :meth:`close`.  Externally supplied executors are never shut
+            down by the trainer; their worker processes bootstrap rollout
+            state from the first request they serve.
+        rollout_backend: override the backend choice ("serial" or
+            "process") without touching the config — e.g. to force a
+            one-worker process pool for determinism checks.
+    """
 
     def __init__(self, ruleset: RuleSet,
-                 config: Optional[NeuroCutsConfig] = None) -> None:
+                 config: Optional[NeuroCutsConfig] = None,
+                 executor: Optional[RolloutExecutor] = None,
+                 rollout_backend: Optional[str] = None) -> None:
         self.config = config or NeuroCutsConfig()
         self.ruleset = ruleset
         self.env = NeuroCutsEnv(ruleset, self.config)
@@ -87,34 +128,123 @@ class NeuroCutsTrainer:
                                   seed=self.config.seed)
         self.history: List[IterationStats] = []
         self._timesteps_total = 0
+        #: Number of collection rounds run so far (seeds shards per round).
+        self._collect_rounds = 0
+        #: Convergence-patience state (persists across train() calls and
+        #: checkpoint resumes).
+        self._stale_iterations = 0
+        self._last_best = float("inf")
         #: Best rollout whose tree completed within the rollout budget.
         self._best_rollout: Optional[RolloutResult] = None
         #: Best rollout overall, including truncated trees (still valid
         #: classifiers — truncation only leaves oversized leaves behind).
         self._best_any: Optional[RolloutResult] = None
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._session: Optional[int] = None
+        #: True when worker state was installed by a pool initializer (so
+        #: shard requests need not carry a bootstrap payload).
+        self._session_initialized = False
+        self._rollout_backend = rollout_backend
 
     # ------------------------------------------------------------------ #
-    # Rollout collection
+    # Executor lifecycle
     # ------------------------------------------------------------------ #
 
-    def collect_batch(self) -> tuple[SampleBatch, List[RolloutResult]]:
-        """Run rollouts until the per-batch timestep budget is filled."""
+    @property
+    def num_rollout_workers(self) -> int:
+        """How many rollout shards each batch is scattered over."""
+        if self._executor is not None and not self._owns_executor:
+            return self._executor.num_workers
+        return self.config.num_rollout_workers
+
+    def _ensure_executor(self) -> RolloutExecutor:
+        if self._executor is None:
+            self._executor, self._session = make_rollout_executor(
+                self.ruleset, self.config, self.config.num_rollout_workers,
+                backend=self._rollout_backend or self.config.rollout_backend,
+            )
+            self._session_initialized = True
+        elif self._session is None:
+            # External executor: its processes never ran our initializer, so
+            # requests carry a bootstrap payload under a fresh session id.
+            self._session = allocate_session()
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the trainer-owned executor (idempotent).
+
+        Externally supplied executors are left running — their owner decides
+        when to release them.
+        """
+        # Serial sessions build their rollout worker in this process; drop
+        # it so closed trainers do not accumulate env + model replicas.
+        discard_session(self._session)
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        self._session = None
+        self._session_initialized = False
+
+    def __enter__(self) -> "NeuroCutsTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Rollout collection (the scatter/gather half of the learner loop)
+    # ------------------------------------------------------------------ #
+
+    def collect_batch(self) -> tuple[SampleBatch, List[RolloutSummary]]:
+        """Collect one PPO batch worth of rollouts, sharded across workers.
+
+        Broadcasts the current weights, scatters per-worker seeds and
+        budgets, gathers the shards, folds their best-tree candidates into
+        the global best tracking, and concatenates the experience.
+        """
+        executor = self._ensure_executor()
+        remaining = self.config.max_timesteps_total - self._timesteps_total
+        total_budget = max(1, min(self.config.timesteps_per_batch, remaining))
+        num_workers = max(1, self.num_rollout_workers)
+        budgets = shard_budgets(total_budget, num_workers)
+        seeds = shard_seeds(self.config.seed, self._collect_rounds, num_workers)
+        weights = broadcast_weights(self.model)
+        # External executors never ran our initializer, so every request
+        # carries a (ruleset, config) bootstrap payload.  It cannot be
+        # dropped after a warm-up round: map() gives no process-affinity
+        # guarantee, and another trainer sharing the executor may evict this
+        # session's worker between rounds.  Trainer-owned executors (the
+        # default) initialise eagerly and never pay this pickling cost.
+        bootstrap = None if self._session_initialized \
+            else (self.ruleset, self.config)
+        requests = [
+            ShardRequest(session=self._session, weights=weights, seed=seed,
+                         budget=budget, bootstrap=bootstrap)
+            for seed, budget in zip(seeds, budgets)
+        ]
+        shards = executor.map(_collect_shard, requests)
+        self._collect_rounds += 1
+
         batches: List[SampleBatch] = []
-        rollouts: List[RolloutResult] = []
-        steps = 0
-        while steps < self.config.timesteps_per_batch:
-            result = self.env.rollout(self.policy)
-            rollouts.append(result)
-            steps += result.num_steps
-            self._timesteps_total += result.num_steps
-            if result.batch is not None:
-                batches.append(result.batch)
-            self._consider_best(result)
-            if self._timesteps_total >= self.config.max_timesteps_total:
-                break
+        summaries: List[RolloutSummary] = []
+        for shard in shards:
+            self._timesteps_total += shard.num_steps
+            summaries.extend(shard.summaries)
+            if shard.batch is not None:
+                batches.append(shard.batch)
+            # Gather in worker order so tie-breaking (strict <, first wins)
+            # matches a serial pass over the same rollout stream.
+            if shard.best_any is not None:
+                self._consider_best(shard.best_any)
+            if shard.best_complete is not None:
+                self._consider_best(shard.best_complete)
         if not batches:
+            # Zero-step rollouts (a ruleset that fits one terminal leaf)
+            # still report their tree through the best tracking above, so
+            # train() can return the optimal tree instead of crashing.
             raise BuildError("no experience collected; rollouts produced no steps")
-        return SampleBatch.concat(batches), rollouts
+        return SampleBatch.concat(batches), summaries
 
     def _consider_best(self, result: RolloutResult) -> None:
         """Track the best complete (non-overflowing) tree seen so far."""
@@ -130,37 +260,46 @@ class NeuroCutsTrainer:
     # ------------------------------------------------------------------ #
 
     def train(self, max_iterations: Optional[int] = None) -> TrainingResult:
-        """Run training until the timestep budget (or iteration cap) is hit."""
+        """Run training until the timestep budget (or iteration cap) is hit.
+
+        Convergence-patience counters live on the trainer (not this call),
+        so repeated ``train`` calls — and checkpoint resumes — continue the
+        same trajectory an uninterrupted run would follow.
+        """
         iteration = len(self.history)
-        stale_iterations = 0
-        last_best = float("inf")
         while self._timesteps_total < self.config.max_timesteps_total:
             if max_iterations is not None and iteration >= max_iterations:
                 break
             start = time.perf_counter()
-            batch, rollouts = self.collect_batch()
+            try:
+                batch, summaries = self.collect_batch()
+            except BuildError:
+                if self._best_any is not None:
+                    break  # nothing to learn (single-leaf tree): done
+                raise
             ppo_stats = self.learner.update(batch)
             iteration += 1
-            stats = self._record_iteration(iteration, rollouts, ppo_stats,
+            stats = self._record_iteration(iteration, summaries, ppo_stats,
                                            time.perf_counter() - start)
             if self.config.convergence_patience is not None:
-                if stats.best_objective < last_best - 1e-9:
-                    last_best = stats.best_objective
-                    stale_iterations = 0
+                if stats.best_objective < self._last_best - 1e-9:
+                    self._last_best = stats.best_objective
+                    self._stale_iterations = 0
                 else:
-                    stale_iterations += 1
-                    if stale_iterations >= self.config.convergence_patience:
+                    self._stale_iterations += 1
+                    if self._stale_iterations >= self.config.convergence_patience:
                         break
         return self.result()
 
-    def _record_iteration(self, iteration: int, rollouts: List[RolloutResult],
+    def _record_iteration(self, iteration: int,
+                          summaries: List[RolloutSummary],
                           ppo_stats: PPOStats, wall_time: float) -> IterationStats:
         best = self._best_rollout or self._best_any
         stats = IterationStats(
             iteration=iteration,
             timesteps_total=self._timesteps_total,
-            num_rollouts=len(rollouts),
-            mean_reward=float(np.mean([r.root_reward.reward for r in rollouts])),
+            num_rollouts=len(summaries),
+            mean_reward=float(np.mean([s.reward for s in summaries])),
             best_objective=best.objective if best else float("inf"),
             best_time=best.root_reward.time if best else float("inf"),
             best_space=best.root_reward.space if best else float("inf"),
@@ -207,6 +346,108 @@ class NeuroCutsTrainer:
             trees.append(result.tree)
         return trees
 
+    # ------------------------------------------------------------------ #
+    # Checkpointing (exact resume of an interrupted run)
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Checkpoint model, optimiser, and learner state for exact resume.
+
+        :meth:`restore` continues training with byte-identical trajectories:
+        shard seeds derive from the persisted round counter, the PPO
+        minibatch RNG state and adaptive KL coefficient are saved, and the
+        best-tree records (trees included) survive the round trip.
+        """
+        trainer_state = {
+            "config": {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in dataclasses.asdict(self.config).items()
+            },
+            "timesteps_total": self._timesteps_total,
+            "collect_rounds": self._collect_rounds,
+            "stale_iterations": self._stale_iterations,
+            "last_best": self._last_best if self._last_best != float("inf")
+            else None,
+            "kl_coeff": self.learner._kl_coeff,
+            "learner_rng": self.learner._rng.bit_generator.state,
+            "history": [stats.as_dict() for stats in self.history],
+            "best_rollout": self._rollout_record(self._best_rollout),
+            "best_any": self._rollout_record(self._best_any),
+        }
+        save_checkpoint(self.model, path, optimizer=self.learner.optimizer,
+                        trainer_state=trainer_state)
+
+    @staticmethod
+    def _rollout_record(result: Optional[RolloutResult]) -> Optional[Dict]:
+        if result is None:
+            return None
+        return {
+            "tree": tree_to_dict(result.tree),
+            "time": result.root_reward.time,
+            "space": result.root_reward.space,
+            "reward": result.root_reward.reward,
+            "num_steps": result.num_steps,
+            "truncated": result.truncated,
+        }
+
+    def _rollout_from_record(self, record: Optional[Dict]
+                             ) -> Optional[RolloutResult]:
+        if record is None:
+            return None
+        return RolloutResult(
+            tree=tree_from_dict(record["tree"], self.ruleset),
+            batch=None,
+            root_reward=RewardComponents(
+                time=record["time"], space=record["space"],
+                reward=record["reward"],
+            ),
+            num_steps=record["num_steps"],
+            truncated=record["truncated"],
+        )
+
+    @classmethod
+    def restore(cls, path: Union[str, Path], ruleset: RuleSet,
+                config: Optional[NeuroCutsConfig] = None,
+                executor: Optional[RolloutExecutor] = None,
+                rollout_backend: Optional[str] = None) -> "NeuroCutsTrainer":
+        """Rebuild a trainer from :meth:`save` and continue exactly.
+
+        The training configuration is restored from the checkpoint when
+        ``config`` is omitted — that is the exact-resume path.  Passing a
+        ``config`` overrides the saved one (e.g. to change the worker count
+        on different hardware); overriding seed-relevant fields changes the
+        continuation trajectory.
+        """
+        bundle = load_training_checkpoint(path)
+        if bundle.trainer_state is None:
+            raise CheckpointError(
+                f"{path} is a model-only checkpoint; save it with "
+                f"NeuroCutsTrainer.save() to resume training"
+            )
+        if config is None:
+            saved = bundle.trainer_state.get("config")
+            if saved is not None:
+                config = NeuroCutsConfig(**{
+                    key: tuple(value) if key == "hidden_sizes" else value
+                    for key, value in saved.items()
+                })
+        trainer = cls(ruleset, config, executor=executor,
+                      rollout_backend=rollout_backend)
+        trainer.model.load_parameters(bundle.model.parameters())
+        bundle.restore_optimizer(trainer.learner.optimizer)
+        state = bundle.trainer_state
+        trainer._timesteps_total = int(state["timesteps_total"])
+        trainer._collect_rounds = int(state["collect_rounds"])
+        trainer._stale_iterations = int(state.get("stale_iterations", 0))
+        last_best = state.get("last_best")
+        trainer._last_best = float("inf") if last_best is None else float(last_best)
+        trainer.learner._kl_coeff = float(state["kl_coeff"])
+        trainer.learner._rng.bit_generator.state = state["learner_rng"]
+        trainer.history = [IterationStats(**stats) for stats in state["history"]]
+        trainer._best_rollout = trainer._rollout_from_record(state["best_rollout"])
+        trainer._best_any = trainer._rollout_from_record(state["best_any"])
+        return trainer
+
 
 class NeuroCutsBuilder(TreeBuilder):
     """Adapter exposing NeuroCuts through the common TreeBuilder interface.
@@ -224,6 +465,6 @@ class NeuroCutsBuilder(TreeBuilder):
         self.last_result: Optional[TrainingResult] = None
 
     def build(self, ruleset: RuleSet) -> TreeClassifier:
-        trainer = NeuroCutsTrainer(ruleset, self.config)
-        self.last_result = trainer.train(max_iterations=self.max_iterations)
+        with NeuroCutsTrainer(ruleset, self.config) as trainer:
+            self.last_result = trainer.train(max_iterations=self.max_iterations)
         return self.last_result.best_classifier()

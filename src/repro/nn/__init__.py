@@ -10,7 +10,15 @@ from repro.nn.distributions import (
     masked_logits,
     softmax,
 )
-from repro.nn.checkpoints import load_checkpoint, save_checkpoint
+from repro.nn.checkpoints import (
+    TrainingCheckpoint,
+    flatten_parameters,
+    load_checkpoint,
+    load_training_checkpoint,
+    parameter_spec,
+    save_checkpoint,
+    unflatten_parameters,
+)
 from repro.nn.initializers import orthogonal, small_normal, xavier_uniform, zeros
 
 __all__ = [
@@ -28,8 +36,13 @@ __all__ = [
     "log_softmax",
     "masked_logits",
     "softmax",
+    "TrainingCheckpoint",
+    "flatten_parameters",
     "load_checkpoint",
+    "load_training_checkpoint",
+    "parameter_spec",
     "save_checkpoint",
+    "unflatten_parameters",
     "orthogonal",
     "small_normal",
     "xavier_uniform",

@@ -43,6 +43,15 @@ class Policy:
         self.action_space = action_space
         self._rng = np.random.default_rng(seed)
 
+    def reseed(self, seed) -> None:
+        """Reset the sampling RNG from a seed (int or SeedSequence).
+
+        Rollout workers reseed before every shard so a shard's trajectory is
+        a pure function of (weights, seed) — the property that makes serial
+        and process-pool execution byte-identical.
+        """
+        self._rng = np.random.default_rng(seed)
+
     def act(self, obs: np.ndarray,
             masks: Optional[Sequence[np.ndarray]] = None) -> PolicyDecision:
         """Sample an action for one observation."""

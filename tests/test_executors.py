@@ -1,0 +1,148 @@
+"""Tests for the backend-pluggable executor layer and harness parallel_map."""
+
+import os
+
+import pytest
+
+from repro.executors import (
+    EXECUTOR_BACKENDS,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    make_executor,
+    shared_executor,
+    shutdown_shared_executors,
+)
+from repro.harness.parallel import default_worker_count, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+def _getpid(_):
+    return os.getpid()
+
+
+_INIT_STATE = {}
+
+
+def _record_init(tag):
+    _INIT_STATE["tag"] = tag
+
+
+def _read_init(_):
+    return _INIT_STATE.get("tag")
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        executor = SerialExecutor()
+        assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert executor.num_workers == 1
+
+    def test_initializer_runs_once_before_first_task(self):
+        _INIT_STATE.clear()
+        executor = SerialExecutor(initializer=_record_init, initargs=("x",))
+        assert executor.map(_read_init, [0]) == ["x"]
+        _INIT_STATE["tag"] = "mutated"
+        # A second map must not re-run the initializer.
+        assert executor.map(_read_init, [0]) == ["mutated"]
+
+    def test_context_manager(self):
+        with SerialExecutor() as executor:
+            assert executor.map(_square, [4]) == [16]
+
+
+class TestProcessPoolExecutor:
+    def test_pool_persists_across_maps(self):
+        with ProcessPoolExecutor(1) as executor:
+            assert not executor.is_running
+            first = executor.map(_getpid, [0, 1])
+            assert executor.is_running
+            second = executor.map(_getpid, [0, 1])
+        # Same worker process served both calls: the pool was reused, and it
+        # is a different process from the parent.
+        assert set(first) == set(second)
+        assert os.getpid() not in first
+
+    def test_initializer_runs_in_workers(self):
+        _INIT_STATE.clear()
+        with ProcessPoolExecutor(1, initializer=_record_init,
+                                 initargs=("worker",)) as executor:
+            assert executor.map(_read_init, [0]) == ["worker"]
+        # Parent process state untouched: the initializer ran in the child.
+        assert _INIT_STATE == {}
+
+    def test_empty_map_does_not_start_pool(self):
+        with ProcessPoolExecutor(2) as executor:
+            assert executor.map(_square, []) == []
+            assert not executor.is_running
+
+    def test_shutdown_idempotent(self):
+        executor = ProcessPoolExecutor(1)
+        executor.map(_square, [2])
+        executor.shutdown()
+        executor.shutdown()
+        assert not executor.is_running
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolExecutor(0)
+
+
+class TestMakeExecutor:
+    def test_auto_backend(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        executor = make_executor(2)
+        assert isinstance(executor, ProcessPoolExecutor)
+        assert executor.num_workers == 2
+        executor.shutdown()
+
+    def test_explicit_backend(self):
+        executor = make_executor(1, backend="process")
+        assert isinstance(executor, ProcessPoolExecutor)
+        executor.shutdown()
+        assert isinstance(make_executor(4, backend="serial"), SerialExecutor)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            make_executor(2, backend="threads")
+        assert "serial" in EXECUTOR_BACKENDS and "process" in EXECUTOR_BACKENDS
+
+
+class TestSharedExecutors:
+    def test_shared_pool_is_reused(self):
+        shutdown_shared_executors()
+        first = shared_executor(2)
+        second = shared_executor(2)
+        assert first is second
+        assert isinstance(first, ProcessPoolExecutor)
+        shutdown_shared_executors()
+
+    def test_serial_for_one_worker(self):
+        assert isinstance(shared_executor(1), SerialExecutor)
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], num_workers=1) == [1, 4, 9]
+        assert parallel_map(_square, [5]) == [25]
+
+    def test_pool_path_reuses_shared_pool(self):
+        shutdown_shared_executors()
+        first = parallel_map(_getpid, [0, 1, 2], num_workers=2)
+        second = parallel_map(_getpid, [0, 1, 2], num_workers=2)
+        # Same persistent pool serves both calls (scheduling may route a
+        # short second call to a subset of its workers).
+        assert set(second) <= set(first)
+        assert os.getpid() not in first
+        shutdown_shared_executors()
+
+    def test_explicit_executor(self):
+        with SerialExecutor() as executor:
+            result = parallel_map(_square, [3, 4], executor=executor)
+        assert result == [9, 16]
+
+    def test_default_worker_count_bounds(self):
+        count = default_worker_count(cap=4)
+        assert 1 <= count <= 4

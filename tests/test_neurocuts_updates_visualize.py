@@ -52,6 +52,44 @@ class TestIncrementalUpdates:
         assert victim not in built_tree.ruleset.rules
         assert all(victim not in leaf.rules for leaf in built_tree.leaves())
 
+    def test_remove_rule_purges_internal_nodes(self, built_tree):
+        updater = IncrementalUpdater(built_tree)
+        victim = built_tree.ruleset[0]
+        updater.remove_rule(victim)
+        assert all(victim not in node.rules for node in built_tree.nodes())
+        assert updater.stats.rules_removed == 1
+
+    def test_remove_rule_still_matches_linear_search(self, built_tree):
+        updater = IncrementalUpdater(built_tree)
+        victim = built_tree.ruleset[len(built_tree.ruleset) // 2]
+        updater.remove_rule(victim)
+        classifier = TreeClassifier(built_tree.ruleset, [built_tree])
+        _, mismatches = classifier.validate(
+            built_tree.ruleset.sample_packets(150, seed=11)
+        )
+        assert mismatches == 0
+
+    def test_remove_unknown_rule_is_a_noop(self, built_tree):
+        updater = IncrementalUpdater(built_tree)
+        stranger = Rule.from_fields(dst_port=(7, 8), priority=10 ** 7,
+                                    name="stranger")
+        version = built_tree.version
+        assert updater.remove_rule(stranger) == 0
+        assert updater.stats.rules_removed == 0
+        # No structural change, so the compiled-engine cache stays valid.
+        assert built_tree.version == version
+
+    def test_add_then_remove_restores_linear_search_agreement(self, built_tree):
+        updater = IncrementalUpdater(built_tree)
+        rule = Rule.from_prefixes(src_ip="93.4.0.0/16", priority=10 ** 6)
+        updater.add_rule(rule)
+        assert updater.remove_rule(rule) >= 1
+        classifier = TreeClassifier(built_tree.ruleset, [built_tree])
+        _, mismatches = classifier.validate(
+            built_tree.ruleset.sample_packets(150, seed=13)
+        )
+        assert mismatches == 0
+
     def test_retraining_threshold(self, built_tree):
         updater = IncrementalUpdater(built_tree, retrain_threshold=2)
         assert not updater.needs_retraining()
@@ -77,6 +115,77 @@ class TestIncrementalUpdates:
         small_child, large_child = root.children
         assert new_rule in small_child.rules
         assert new_rule not in large_child.rules
+
+
+class TestCompiledEngineInvalidation:
+    """End-to-end: incremental updates must invalidate the compiled engine.
+
+    The engine caches the compiled flat-array form keyed on the trees'
+    structural version; ``IncrementalUpdater`` bumps the version through
+    ``mark_modified`` so the next batched lookup recompiles instead of
+    serving stale tables.
+    """
+
+    def _packets(self, ruleset, seed=17, n=200):
+        return ruleset.sample_packets(n, seed=seed)
+
+    def test_add_rule_bumps_version_and_recompiles(self, built_tree):
+        classifier = TreeClassifier(built_tree.ruleset, [built_tree])
+        compiled_before = classifier.compile()
+        version_before = built_tree.version
+        assert classifier.compile() is compiled_before  # cache hit
+
+        updater = IncrementalUpdater(built_tree)
+        new_rule = Rule.from_fields(dst_port=(5555, 5556), priority=10 ** 6,
+                                    name="hot")
+        updater.add_rule(new_rule)
+        assert built_tree.version > version_before
+
+        compiled_after = classifier.compile()
+        assert compiled_after is not compiled_before
+        # The recompiled engine serves the new rule on its matching flow.
+        packet = built_tree.ruleset.sample_matching_packet(new_rule)
+        [match] = compiled_after.classify_batch([packet])
+        assert match is not None and match.priority == new_rule.priority
+
+    def test_remove_rule_recompile_matches_interpreter(self, built_tree):
+        classifier = TreeClassifier(built_tree.ruleset, [built_tree])
+        victim = built_tree.ruleset[0]
+        packet = built_tree.ruleset.sample_matching_packet(victim)
+        compiled_before = classifier.compile()
+        [before] = compiled_before.classify_batch([packet])
+        assert before is not None and before.priority == victim.priority
+
+        IncrementalUpdater(built_tree).remove_rule(victim)
+        compiled_after = classifier.compile()
+        assert compiled_after is not compiled_before
+        # Compiled batch results agree with the interpreter on a fresh trace.
+        packets = self._packets(built_tree.ruleset)
+        compiled = compiled_after.classify_batch(packets)
+        interpreted = classifier.classify_batch(packets, engine="interpreter")
+        for got, want in zip(compiled, interpreted):
+            got_priority = got.priority if got else None
+            want_priority = want.priority if want else None
+            assert got_priority == want_priority
+        # And the removed rule no longer wins anywhere.
+        assert all(m is None or m.priority != victim.priority for m in compiled)
+
+    def test_flow_cache_does_not_serve_stale_results(self, built_tree):
+        classifier = TreeClassifier(built_tree.ruleset, [built_tree])
+        new_rule = Rule.from_fields(dst_port=(6666, 6667), priority=10 ** 6,
+                                    name="late")
+        packet = built_tree.ruleset.sample_matching_packet(new_rule)
+        compiled = classifier.compile(flow_cache_size=64)
+        # Warm the cache with the pre-update result for this flow.
+        compiled.classify_batch([packet])
+
+        IncrementalUpdater(built_tree).add_rule(new_rule)
+        recompiled = classifier.compile()
+        # The recompile preserved the caching configuration but dropped the
+        # stale entries: the flow now resolves to the new rule.
+        assert recompiled.flow_cache is not None
+        [match] = recompiled.classify_batch([packet])
+        assert match is not None and match.priority == new_rule.priority
 
 
 class TestVisualize:
