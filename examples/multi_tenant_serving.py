@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Multi-tenant serving with zero-downtime rule updates.
+
+A provider serves packet classification for many tenants at once: each
+tenant brings its own ruleset (here: generated acl/fw/ipc ClassBench-style
+classifiers), gets a compiled flat-array engine with an LRU flow cache, and
+can push rule updates at any time — the engine is rebuilt in the background
+and swapped in atomically, so no packet is ever dropped or misclassified.
+
+This example builds a three-tenant scenario, drives it with a flow workload
+(Zipf flow popularity, bursty arrivals), pushes a mid-trace rule update for
+the busiest tenant, and prints the serving telemetry plus a differential
+proof that every answer matched linear search across the hot swap.
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table
+from repro.serve import BatchPolicy, ClassificationService, TenantRegistry
+from repro.workloads import (
+    ChurnConfig,
+    FlowTraceConfig,
+    build_workload,
+    make_tenant_specs,
+)
+
+
+def main() -> None:
+    # 1. The scenario: three tenants from three seed families, each with its
+    #    own classifier, plus two rule updates landing mid-trace.
+    specs = make_tenant_specs(3, families=("acl1", "fw2", "ipc1"),
+                              num_rules=200, seed=0)
+    trace = FlowTraceConfig(num_packets=15_000, num_flows=600,
+                            zipf_alpha=1.2, mean_burst=12.0, seed=0)
+    workload = build_workload(specs, trace,
+                              churn=ChurnConfig(num_events=2,
+                                                adds_per_event=5,
+                                                removes_per_event=3))
+    print(workload.describe())
+
+    # 2. The control plane: register every tenant (building a HiCuts tree
+    #    and compiling it for the engine) with a per-tenant flow cache.
+    registry = TenantRegistry(default_flow_cache_size=4096)
+    for spec in specs:
+        slot = registry.register(spec.tenant_id,
+                                 workload.rulesets[spec.tenant_id],
+                                 algorithm=spec.algorithm, binth=spec.binth)
+        print(f"  registered {spec.tenant_id}: "
+              f"{len(slot.ruleset)} rules, {slot.engine().describe()}")
+
+    # 3. Serve the merged request stream.  Requests coalesce into engine
+    #    batches (64 packets or 1 ms, whichever first); the scheduled rule
+    #    updates trigger background recompiles and atomic engine swaps.
+    service = ClassificationService(
+        registry, BatchPolicy(max_batch=64, max_delay=1e-3),
+        record_batches=True,
+    )
+    report = service.serve(workload.requests, updates=workload.updates)
+    print("\nServing telemetry:")
+    print(format_table(["metric", "value"], report.rows()))
+
+    # 4. Prove exactness across the hot swaps: every served packet equals
+    #    linear search over the ruleset generation its engine came from.
+    mismatches = 0
+    post_swap = 0
+    for batch in report.batches:
+        ruleset = registry.slot(batch.tenant_id).ruleset_at(batch.epoch)
+        post_swap += len(batch.requests) if batch.epoch >= 1 else 0
+        for request, priority in zip(batch.requests, batch.priorities):
+            expected = ruleset.classify(request.packet)
+            if (expected.priority if expected else None) != priority:
+                mismatches += 1
+    print(f"\nDifferential check: {report.num_requests} packets served, "
+          f"{post_swap} by post-update engines, {mismatches} mismatches")
+    for tenant_id, entry in registry.telemetry().items():
+        print(f"  {tenant_id}: epoch {entry['epoch']}, "
+              f"{entry['rules']} rules, "
+              f"cache hit rate {entry['cache']['hit_rate']:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,12 @@ Classification* (Liang, Zhu, Jin, Stoica — SIGCOMM 2019).  It provides:
   workers, and the actor/learner trainer.
 * :mod:`repro.executors` — backend-pluggable task executors (serial /
   persistent process pools) shared by training and the harness.
+* :mod:`repro.engine` — the compiled dataplane: flat-array trees, batched
+  lookup, and the LRU flow cache.
+* :mod:`repro.workloads` — serving workloads: flow traces with Zipf
+  locality and bursty arrivals, multi-tenant scenarios, rule churn.
+* :mod:`repro.serve` — the multi-tenant serving layer: tenant registry,
+  micro-batching, and zero-downtime engine hot swaps.
 * :mod:`repro.metrics` / :mod:`repro.harness` — evaluation metrics and the
   experiment harness used by the benchmark suite.
 """

@@ -11,6 +11,10 @@ Python:
 * ``repro classify`` — classify packets from a trace against a saved tree.
 * ``repro engine-bench`` — compile a classifier for the dataplane engine and
   measure packets/sec against the interpreter.
+* ``repro serve-bench`` — drive the multi-tenant serving layer with a
+  generated flow workload (Zipf locality, bursty arrivals, optional rule
+  churn with zero-downtime engine hot swaps) and report pps, latency
+  percentiles, cache hit rate, and swap telemetry.
 
 Run ``python -m repro.cli --help`` (or the installed ``repro`` script) for
 details.
@@ -102,7 +106,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rules per terminal leaf")
     bench.add_argument("--flow-cache", type=int, default=None, metavar="N",
                        help="also time a pass with an N-flow LRU cache")
-    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--seed", type=int, default=0,
+                       help="seed for ruleset generation and packet sampling")
+
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="benchmark the multi-tenant serving layer on a generated "
+             "flow workload",
+    )
+    serve.add_argument("--tenants", type=int, default=3,
+                       help="number of tenants to register")
+    serve.add_argument("--families", default="acl1,fw1,ipc1",
+                       help="comma-separated seed families cycled across "
+                            "tenants")
+    serve.add_argument("--num-rules", type=int, default=150,
+                       help="rules per tenant classifier")
+    serve.add_argument("--num-packets", type=int, default=20_000,
+                       help="total requests across tenants")
+    serve.add_argument("--num-flows", type=int, default=512,
+                       help="flow population size across tenants")
+    serve.add_argument("--zipf", type=float, default=1.1,
+                       help="Zipf exponent of flow popularity")
+    serve.add_argument("--burst", type=float, default=16.0,
+                       help="mean packets per arrival burst")
+    serve.add_argument("--algorithm", default="HiCuts",
+                       help="tree builder for every tenant (default HiCuts)")
+    serve.add_argument("--binth", type=int, default=8)
+    serve.add_argument("--batch-size", type=int, default=64,
+                       help="micro-batcher release size")
+    serve.add_argument("--max-delay-ms", type=float, default=1.0,
+                       help="micro-batcher deadline in trace milliseconds")
+    serve.add_argument("--flow-cache", type=int, default=2048,
+                       help="per-tenant LRU flow cache capacity (0 disables)")
+    serve.add_argument("--churn-events", type=int, default=2,
+                       help="mid-trace rule updates triggering hot swaps")
+    serve.add_argument("--sync-swaps", action="store_true",
+                       help="recompile inline instead of in the background")
+    serve.add_argument("--verify", action="store_true",
+                       help="re-check every answer against linear search "
+                            "(slow; proves exactness across hot swaps)")
+    serve.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -235,11 +278,67 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
           f"{result.compiled_memory_bytes} bytes, "
           f"compile {result.compile_seconds * 1000:.1f} ms")
     print(format_table(["engine", "packets/sec", "speedup"], result.rows()))
+    if result.cache_hit_rate is not None:
+        print(f"flow cache: {result.cache_hit_rate:.1%} hit rate, "
+              f"{result.cache_evictions} evictions "
+              f"(capacity {args.flow_cache})")
     if result.mismatches:
         print(f"error: {result.mismatches} packets disagree with the "
               f"interpreter", file=sys.stderr)
         return 1
     print(f"speedup: {result.speedup:.1f}x over the interpreter")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.harness.serving import run_serving
+
+    if args.tenants < 1:
+        print("error: --tenants must be >= 1", file=sys.stderr)
+        return 2
+    if args.num_packets < 1:
+        print("error: --num-packets must be >= 1", file=sys.stderr)
+        return 2
+    families = tuple(f.strip() for f in args.families.split(",") if f.strip())
+    try:
+        result = run_serving(
+            num_tenants=args.tenants,
+            families=families,
+            num_rules=args.num_rules,
+            num_packets=args.num_packets,
+            num_flows=args.num_flows,
+            zipf_alpha=args.zipf,
+            mean_burst=args.burst,
+            algorithm=args.algorithm,
+            binth=args.binth,
+            max_batch=args.batch_size,
+            max_delay=args.max_delay_ms * 1e-3,
+            flow_cache_size=args.flow_cache if args.flow_cache > 0 else None,
+            churn_events=args.churn_events,
+            background_swaps=not args.sync_swaps,
+            record_batches=args.verify,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    workload = result.workload
+    print(f"served {workload.describe()}")
+    print(format_table(["metric", "value"], result.rows()))
+    print(format_table(
+        ["tenant", "rules", "epoch", "hit rate", "evictions", "swaps",
+         "stalls"],
+        result.tenant_rows(),
+    ))
+    if args.verify:
+        exactness = result.verify_exactness()
+        print(f"differential check: {exactness.num_checked} packets "
+              f"({exactness.num_post_swap} post-swap), "
+              f"{exactness.num_mismatches} mismatches vs linear search")
+        if not exactness.is_exact:
+            print("error: served answers disagree with linear search",
+                  file=sys.stderr)
+            return 1
     return 0
 
 
@@ -249,6 +348,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "classify": _cmd_classify,
     "engine-bench": _cmd_engine_bench,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

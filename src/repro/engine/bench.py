@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.rules.packet import Packet
+from repro.engine.cache import FlowCacheStats
 from repro.engine.layout import packets_to_array
 
 #: Interpreter timing subsample (the interpreter is O(packets * depth) in
@@ -35,6 +36,10 @@ class EngineBenchResult:
     compiled_memory_bytes: int
     num_subtrees: int
     mismatches: int
+    #: Flow-cache hit rate over the timed cached pass (None: no cache run).
+    cache_hit_rate: Optional[float] = None
+    #: LRU evictions during the timed cached pass (None: no cache run).
+    cache_evictions: Optional[int] = None
 
     @property
     def speedup(self) -> float:
@@ -51,8 +56,10 @@ class EngineBenchResult:
         ]
         if self.cached_pps is not None:
             ratio = self.cached_pps / max(self.interpreter_pps, 1e-9)
-            rows.append(["compiled+cache", f"{self.cached_pps:,.0f}",
-                         f"{ratio:.1f}x"])
+            label = "compiled+cache"
+            if self.cache_hit_rate is not None:
+                label += f" ({self.cache_hit_rate:.1%} hits)"
+            rows.append([label, f"{self.cached_pps:,.0f}", f"{ratio:.1f}x"])
         return rows
 
 
@@ -116,12 +123,22 @@ def bench_classifier(
         compiled_pps = len(packets) / max(compiled_seconds, 1e-12)
 
         cached_pps = None
+        cache_hit_rate = None
+        cache_evictions = None
         if flow_cache_size is not None:
-            compiled.attach_flow_cache(flow_cache_size)
+            cache = compiled.attach_flow_cache(flow_cache_size)
             compiled.lookup_batch(values)  # warm the cache
-            cached_seconds = _time(lambda: compiled.lookup_batch(values),
-                                   repeats=repeats)
+
+            def timed_cached_pass() -> None:
+                # Reset counters at the start of every repeat so the stats
+                # reflect exactly one timed pass, not their accumulation.
+                cache.stats = FlowCacheStats()
+                compiled.lookup_batch(values)
+
+            cached_seconds = _time(timed_cached_pass, repeats=repeats)
             cached_pps = len(packets) / max(cached_seconds, 1e-12)
+            cache_hit_rate = cache.stats.hit_rate
+            cache_evictions = cache.stats.evictions
             compiled.flow_cache = None
 
         mismatches = 0
@@ -145,4 +162,6 @@ def bench_classifier(
         compiled_memory_bytes=compiled.memory_bytes(),
         num_subtrees=compiled.num_subtrees,
         mismatches=mismatches,
+        cache_hit_rate=cache_hit_rate,
+        cache_evictions=cache_evictions,
     )

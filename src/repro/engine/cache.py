@@ -24,11 +24,18 @@ FlowKey = Tuple[int, int, int, int, int]
 
 @dataclass
 class FlowCacheStats:
-    """Hit/miss counters of one flow cache."""
+    """Hit/miss/eviction counters of one flow cache.
+
+    ``evictions`` counts flows dropped by the LRU capacity bound;
+    ``invalidations`` counts flows dropped by :meth:`FlowCache.clear` (rule
+    updates, engine swaps).  Serving telemetry reads both directly instead of
+    inferring churn from hit-rate dips.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -37,6 +44,23 @@ class FlowCacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "FlowCacheStats") -> "FlowCacheStats":
+        """Accumulate another cache's counters (telemetry across swaps)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.invalidations += other.invalidations
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
 
 
 class FlowCache:
@@ -71,6 +95,14 @@ class FlowCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
-    def clear(self) -> None:
-        """Drop every entry (keeps the counters)."""
+    def clear(self) -> int:
+        """Drop every entry; returns how many flows were invalidated.
+
+        The dropped count is added to ``stats.invalidations`` (distinct from
+        LRU ``evictions``), so callers invalidating on rule updates get the
+        churn attributed correctly.
+        """
+        dropped = len(self._entries)
         self._entries.clear()
+        self.stats.invalidations += dropped
+        return dropped

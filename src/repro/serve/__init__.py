@@ -1,0 +1,46 @@
+"""Multi-tenant serving layer over the compiled dataplane engine.
+
+Construction (training, heuristics) and execution (the compiled engine)
+already exist; this package is the *serving* side: a
+:class:`~repro.serve.registry.TenantRegistry` holds one compiled engine per
+tenant behind double-buffered :class:`~repro.serve.engines.EngineSlot`
+objects (zero-downtime rule updates via background recompile + atomic
+swap), a :class:`~repro.serve.batcher.MicroBatcher` coalesces per-packet
+requests into vectorised batches, and the
+:class:`~repro.serve.service.ClassificationService` drives a time-ordered
+request stream through it all while collecting serving telemetry.
+
+Typical use::
+
+    registry = TenantRegistry()
+    registry.register("tenant-a", ruleset, algorithm="HiCuts")
+    service = ClassificationService(registry, BatchPolicy(max_batch=64))
+    report = service.serve(requests, updates=churn_events)
+    print(report.pps, report.latency_ms(99.0), report.cache_hit_rate)
+"""
+
+from repro.serve.batcher import BatchPolicy, MicroBatcher, Request
+from repro.serve.engines import EngineSlot, SwapStats
+from repro.serve.registry import TenantRegistry, UnknownTenantError
+from repro.serve.service import (
+    LATENCY_PERCENTILES,
+    ClassificationService,
+    RuleUpdate,
+    ServedBatch,
+    ServingReport,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatcher",
+    "Request",
+    "EngineSlot",
+    "SwapStats",
+    "TenantRegistry",
+    "UnknownTenantError",
+    "LATENCY_PERCENTILES",
+    "ClassificationService",
+    "RuleUpdate",
+    "ServedBatch",
+    "ServingReport",
+]

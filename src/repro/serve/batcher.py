@@ -1,0 +1,108 @@
+"""Per-tenant micro-batching of classification requests.
+
+The compiled engine is fastest on vectorised batches, but a serving path
+receives *individual* packets.  The :class:`MicroBatcher` bridges the two:
+requests accumulate in per-tenant queues and are released as batches when a
+queue reaches ``max_batch`` packets or when its oldest request has waited
+longer than ``max_delay`` of trace time.  Time is the *workload's* clock
+(request arrival timestamps), so batching behaviour is deterministic for a
+given trace — the same requests always form the same batches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.rules.packet import Packet
+
+
+@dataclass(frozen=True)
+class Request:
+    """One packet awaiting classification for one tenant.
+
+    Attributes:
+        tenant_id: the tenant whose classifier must be consulted.
+        packet: the 5-tuple header to classify.
+        time: arrival timestamp in trace seconds (drives batching deadlines
+            and queueing-latency accounting).
+    """
+
+    tenant_id: str
+    packet: Packet
+    time: float = 0.0
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs controlling how requests coalesce into engine batches.
+
+    Attributes:
+        max_batch: release a tenant's queue once it holds this many requests.
+        max_delay: release a tenant's queue once its oldest request has
+            waited this many trace seconds (the latency/throughput knob).
+    """
+
+    max_batch: int = 64
+    max_delay: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+
+
+class MicroBatcher:
+    """Coalesces per-packet requests into per-tenant batches."""
+
+    def __init__(self, policy: BatchPolicy = BatchPolicy()) -> None:
+        self.policy = policy
+        # Insertion-ordered so deadline flushes release tenants in the order
+        # their oldest requests arrived (OrderedDict keyed by tenant).
+        self._queues: "OrderedDict[str, List[Request]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        """Total number of queued (not yet released) requests."""
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def pending_tenants(self) -> List[str]:
+        return [t for t, q in self._queues.items() if q]
+
+    def offer(self, request: Request) -> List[Tuple[str, List[Request]]]:
+        """Enqueue a request; returns any batches released by its arrival.
+
+        The arrival first expires every queue whose deadline has passed at
+        ``request.time`` (trace time only moves forward), then the request
+        joins its tenant's queue, which is released immediately if full.
+        """
+        released = self.poll(request.time)
+        queue = self._queues.setdefault(request.tenant_id, [])
+        queue.append(request)
+        if len(queue) >= self.policy.max_batch:
+            released.append((request.tenant_id, queue))
+            self._queues[request.tenant_id] = []
+        return released
+
+    def poll(self, now: float) -> List[Tuple[str, List[Request]]]:
+        """Release every queue whose oldest request exceeded ``max_delay``."""
+        released: List[Tuple[str, List[Request]]] = []
+        for tenant_id, queue in list(self._queues.items()):
+            if queue and now - queue[0].time >= self.policy.max_delay:
+                released.append((tenant_id, queue))
+                self._queues[tenant_id] = []
+        return released
+
+    def flush(self, tenant_id: str) -> List[Request]:
+        """Release one tenant's queue regardless of size or deadline."""
+        queue = self._queues.get(tenant_id, [])
+        self._queues[tenant_id] = []
+        return queue
+
+    def flush_all(self) -> List[Tuple[str, List[Request]]]:
+        """Release every non-empty queue (end of trace)."""
+        released = [(t, q) for t, q in self._queues.items() if q]
+        self._queues = OrderedDict()
+        return released

@@ -1,0 +1,264 @@
+"""Double-buffered engine slots: zero-downtime rule updates per tenant.
+
+A tenant's packets are served from a compiled engine (flat arrays); its rule
+updates are applied to the *Python* tree through
+:class:`~repro.neurocuts.updates.IncrementalUpdater` and recompiled in the
+background while the old engine keeps serving.  The finished engine is
+swapped in atomically between batches, keyed on the trees' structural
+version counters so a swap can never install arrays compiled from a stale
+tree.  The serving path therefore never waits for a recompile — the only
+stall happens if a *second* update arrives while the previous rebuild is
+still in flight, in which case the slot joins the builder first (counted in
+:class:`SwapStats`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.cache import DEFAULT_FLOW_CACHE_SIZE, FlowCacheStats
+from repro.engine.compile import compile_classifier
+from repro.engine.dispatch import CompiledClassifier
+from repro.neurocuts.updates import IncrementalUpdater
+from repro.rules.rule import Rule
+from repro.rules.ruleset import RuleSet
+from repro.tree.lookup import TreeClassifier
+
+
+@dataclass
+class SwapStats:
+    """Bookkeeping about engine swaps and the stalls they (rarely) cause."""
+
+    swaps: int = 0
+    #: Updates that had to join a still-running rebuild before applying.
+    stalls: int = 0
+    #: Total seconds spent blocked on in-flight rebuilds.
+    stall_seconds: float = 0.0
+    #: Wall seconds each background rebuild took, in swap order.
+    build_seconds: List[float] = field(default_factory=list)
+    #: Discarded shadow engines (compiled from a tree version that moved on).
+    stale_builds: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "swaps": self.swaps,
+            "stalls": self.stalls,
+            "stall_seconds": self.stall_seconds,
+            "stale_builds": self.stale_builds,
+            "mean_build_seconds": (
+                sum(self.build_seconds) / len(self.build_seconds)
+                if self.build_seconds else 0.0
+            ),
+        }
+
+
+class EngineSlot:
+    """One tenant's serving state: live engine, shadow engine, update path.
+
+    The *active* engine serves every batch.  :meth:`apply_update` edits the
+    decision trees incrementally, snapshots the post-update ruleset, and
+    kicks off a rebuild (a daemon thread when ``background=True``, inline
+    otherwise).  :meth:`engine` is the per-batch accessor: it installs a
+    finished shadow engine — the atomic swap — and returns the current one.
+
+    Epochs number the engine generations: epoch 0 is the engine compiled at
+    registration, and every swap increments it.  ``ruleset_at(epoch)``
+    returns the exact ruleset an epoch's engine was compiled from, which is
+    what lets benchmarks assert differential exactness *across* a hot swap.
+    """
+
+    def __init__(
+        self,
+        tenant_id: str,
+        classifier: TreeClassifier,
+        flow_cache_size: Optional[int] = DEFAULT_FLOW_CACHE_SIZE,
+        background: bool = True,
+        retrain_threshold: int = 10 ** 9,
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.classifier = classifier
+        self.flow_cache_size = flow_cache_size
+        self.background = background
+        self.swap_stats = SwapStats()
+        #: Flow-cache counters of engines already retired by swaps.
+        self.retired_cache_stats = FlowCacheStats()
+        self._updaters = [
+            IncrementalUpdater(tree, retrain_threshold=retrain_threshold)
+            for tree in classifier.trees
+        ]
+        self._active = compile_classifier(classifier,
+                                          flow_cache_size=flow_cache_size)
+        self._rulesets: List[RuleSet] = [classifier.ruleset]
+        self.epoch = 0
+        self._builder: Optional[threading.Thread] = None
+        self._shadow_build_seconds: float = 0.0
+        self._shadow: Optional[CompiledClassifier] = None
+        self._shadow_ruleset: Optional[RuleSet] = None
+        self._shadow_versions: Optional[Tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def ruleset(self) -> RuleSet:
+        """The *latest* ruleset (updates applied, even mid-swap).
+
+        The engine currently serving may still be a generation behind —
+        ``ruleset_at(epoch)`` gives the snapshot it was compiled from.
+        """
+        return self.classifier.ruleset
+
+    def ruleset_at(self, epoch: int) -> RuleSet:
+        """The ruleset the given engine epoch was compiled from."""
+        return self._rulesets[epoch]
+
+    @property
+    def swap_pending(self) -> bool:
+        """True while an updated engine is being built or awaits install."""
+        return self._builder is not None
+
+    def needs_retraining(self) -> bool:
+        """True once accumulated updates advise retraining (Section 4.2)."""
+        return any(u.needs_retraining() for u in self._updaters)
+
+    def cache_stats(self) -> FlowCacheStats:
+        """Cumulative flow-cache counters across every engine generation."""
+        total = FlowCacheStats(
+            hits=self.retired_cache_stats.hits,
+            misses=self.retired_cache_stats.misses,
+            evictions=self.retired_cache_stats.evictions,
+            invalidations=self.retired_cache_stats.invalidations,
+        )
+        if self._active.flow_cache is not None:
+            total.merge(self._active.flow_cache.stats)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Serving path
+    # ------------------------------------------------------------------ #
+
+    def engine(self) -> CompiledClassifier:
+        """The engine to serve the next batch with (installs ready swaps)."""
+        self._try_install()
+        return self._active
+
+    # ------------------------------------------------------------------ #
+    # Update path
+    # ------------------------------------------------------------------ #
+
+    def apply_update(self, adds: Sequence[Rule] = (),
+                     removes: Sequence[Rule] = ()) -> None:
+        """Apply a rule update and schedule the engine rebuild.
+
+        Removals are cleared from every tree; additions are routed into the
+        first tree (every tree's root spans the full header space, and the
+        multi-tree dispatch takes the best-priority match across trees, so
+        one copy suffices).  The active engine keeps serving the *previous*
+        ruleset until the rebuilt engine is swapped in.
+        """
+        if not adds and not removes:
+            return
+        # A still-running rebuild must land first: joining here (a stall)
+        # keeps updates strictly ordered — every epoch's engine corresponds
+        # to exactly one ruleset snapshot.
+        self._join_builder(count_stall=True)
+        for rule in removes:
+            for updater in self._updaters:
+                updater.remove_rule(rule)
+        for rule in adds:
+            self._updaters[0].add_rule(rule)
+        ruleset = self.ruleset
+        if removes:
+            ruleset = ruleset.with_rules_removed(removes)
+        if adds:
+            ruleset = ruleset.with_rules_added(adds)
+        self.classifier.ruleset = ruleset
+        self._start_build(ruleset)
+
+    def force_swap(self) -> None:
+        """Block until any pending rebuild has been built and installed.
+
+        A quiesce point (end of trace, deregistration) — waiting here is not
+        a serving stall, so it is not counted in :class:`SwapStats`.
+        """
+        self._join_builder(count_stall=False)
+
+    def _join_builder(self, count_stall: bool) -> None:
+        if self._builder is None:
+            return
+        start = time.perf_counter()
+        alive = self._builder.is_alive()
+        self._builder.join()
+        if alive and count_stall:
+            self.swap_stats.stalls += 1
+            self.swap_stats.stall_seconds += time.perf_counter() - start
+        self._try_install()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _versions(self) -> Tuple[int, ...]:
+        return tuple(tree.version for tree in self.classifier.trees)
+
+    def _start_build(self, target_ruleset: RuleSet) -> None:
+        target_versions = self._versions()
+
+        def build() -> None:
+            # The builder only *reads* the trees; the main thread never
+            # mutates them while a build is in flight (apply_update joins
+            # first), so no lock is needed around the traversal.
+            started = time.perf_counter()
+            shadow = compile_classifier(
+                self.classifier, flow_cache_size=self.flow_cache_size
+            )
+            self._shadow_build_seconds = time.perf_counter() - started
+            self._shadow = shadow
+            self._shadow_ruleset = target_ruleset
+            self._shadow_versions = target_versions
+
+        if self.background:
+            self._builder = threading.Thread(
+                target=build, name=f"engine-build-{self.tenant_id}", daemon=True
+            )
+            self._builder.start()
+            self._try_install()
+        else:
+            build()
+            self._install_shadow()
+
+    def _try_install(self) -> None:
+        """Install the shadow engine if its build finished (the atomic swap)."""
+        if self._builder is None or self._builder.is_alive():
+            return
+        self._builder.join()
+        self._builder = None
+        self._install_shadow()
+
+    def _install_shadow(self) -> None:
+        shadow, ruleset = self._shadow, self._shadow_ruleset
+        versions = self._shadow_versions
+        self._shadow = self._shadow_ruleset = self._shadow_versions = None
+        if shadow is None or ruleset is None:
+            return
+        if versions != self._versions():
+            # The trees moved on while this engine compiled; its arrays are
+            # stale and must never serve.  (Unreachable through apply_update,
+            # which serialises builds, but guards direct tree mutation.)
+            self.swap_stats.stale_builds += 1
+            self._start_build(self.classifier.ruleset)
+            return
+        if self._active.flow_cache is not None:
+            # The retiring engine's cached flows are invalidated by the swap
+            # (counted via clear()), then its counters fold into the totals.
+            self._active.flow_cache.clear()
+            self.retired_cache_stats.merge(self._active.flow_cache.stats)
+        self._active = shadow
+        self._rulesets.append(ruleset)
+        self.epoch += 1
+        self.swap_stats.swaps += 1
+        self.swap_stats.build_seconds.append(self._shadow_build_seconds)

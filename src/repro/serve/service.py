@@ -1,0 +1,271 @@
+"""The classification service: the serving loop over tenants and time.
+
+``ClassificationService.serve`` consumes a time-ordered request stream (and
+an optional schedule of rule updates), coalesces requests through the
+micro-batcher, executes each released batch on the owning tenant's compiled
+engine, and reports serving telemetry: packets/second, latency percentiles,
+flow-cache hit rates, and hot-swap counters.
+
+Latency accounting uses two clocks on purpose: the *queueing* delay of a
+request (from arrival to batch release) is trace time — a property of the
+workload and the batching policy, reproducible across machines — while the
+*service* delay is the measured wall time of its batch's engine call.  Both
+are seconds, and their sum is the reported request latency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.layout import packets_to_array
+from repro.rules.rule import Rule
+from repro.serve.batcher import BatchPolicy, MicroBatcher, Request
+from repro.serve.registry import TenantRegistry
+
+#: Percentiles reported by default (p50 / p90 / p99).
+LATENCY_PERCENTILES: Tuple[float, ...] = (50.0, 90.0, 99.0)
+
+
+@dataclass(frozen=True)
+class RuleUpdate:
+    """A scheduled rule update for one tenant, applied mid-trace.
+
+    Attributes:
+        tenant_id: the tenant whose classifier changes.
+        time: trace timestamp at which the update arrives; requests that
+            arrived earlier are flushed (and served by the old engine)
+            before the update is applied.
+        adds: rules to insert (must carry fresh, distinct priorities).
+        removes: existing rules to delete.
+    """
+
+    tenant_id: str
+    time: float
+    adds: Tuple[Rule, ...] = ()
+    removes: Tuple[Rule, ...] = ()
+
+
+@dataclass
+class ServedBatch:
+    """One executed engine batch (kept when ``record_batches=True``)."""
+
+    tenant_id: str
+    #: Engine generation that served the batch; index into the slot's
+    #: ``ruleset_at`` history, which is what differential checks key on.
+    epoch: int
+    flush_time: float
+    wall_seconds: float
+    requests: List[Request]
+    #: Winning rule priority per request (None = no match).
+    priorities: List[Optional[int]]
+
+
+@dataclass
+class ServingReport:
+    """Aggregate telemetry of one ``serve`` run."""
+
+    num_requests: int
+    num_batches: int
+    num_updates: int
+    wall_seconds: float
+    engine_seconds: float
+    trace_seconds: float
+    latency_percentiles: Dict[float, float]
+    mean_batch_size: float
+    cache_hits: int
+    cache_lookups: int
+    cache_evictions: int
+    cache_invalidations: int
+    swaps: int
+    swap_stalls: int
+    swap_stall_seconds: float
+    per_tenant: Dict[str, dict]
+    batches: Optional[List[ServedBatch]] = None
+
+    @property
+    def pps(self) -> float:
+        """Served packets per wall-clock second."""
+        return self.num_requests / max(self.wall_seconds, 1e-12)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.cache_lookups if self.cache_lookups \
+            else 0.0
+
+    def latency_ms(self, percentile: float) -> float:
+        """A reported latency percentile, in milliseconds."""
+        return self.latency_percentiles[percentile] * 1e3
+
+    def rows(self) -> List[List[object]]:
+        """Summary rows for :func:`repro.harness.tables.format_table`."""
+        rows: List[List[object]] = [
+            ["packets served", f"{self.num_requests:,}"],
+            ["throughput", f"{self.pps:,.0f} pps"],
+            ["batches", f"{self.num_batches:,} "
+                        f"(mean {self.mean_batch_size:.1f} pkts)"],
+        ]
+        for pct in sorted(self.latency_percentiles):
+            rows.append([f"latency p{pct:g}", f"{self.latency_ms(pct):.3f} ms"])
+        rows.extend([
+            ["cache hit rate", f"{self.cache_hit_rate:.1%} "
+                               f"({self.cache_hits:,}/{self.cache_lookups:,})"],
+            ["cache evictions", f"{self.cache_evictions:,}"],
+            ["rule updates", f"{self.num_updates:,}"],
+            ["engine swaps", f"{self.swaps:,}"],
+            ["swap stalls", f"{self.swap_stalls:,} "
+                            f"({self.swap_stall_seconds * 1e3:.1f} ms)"],
+        ])
+        return rows
+
+
+class ClassificationService:
+    """Serves classification requests for every registered tenant."""
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        policy: BatchPolicy = BatchPolicy(),
+        record_batches: bool = False,
+    ) -> None:
+        self.registry = registry
+        self.policy = policy
+        self.record_batches = record_batches
+
+    # ------------------------------------------------------------------ #
+    # Serving loop
+    # ------------------------------------------------------------------ #
+
+    def serve(self, requests: Iterable[Request],
+              updates: Sequence[RuleUpdate] = ()) -> ServingReport:
+        """Serve a time-ordered request stream with scheduled rule updates.
+
+        Every request is answered exactly once; none are dropped across
+        updates or engine swaps.  Returns the run's telemetry (and, when
+        ``record_batches`` is set, every served batch for differential
+        verification).
+        """
+        # Stable sort: equal-timestamp requests keep their stream order, so
+        # a given workload always forms the same batches.
+        requests = sorted(requests, key=lambda r: r.time)
+        batcher = MicroBatcher(self.policy)
+        pending_updates = sorted(updates, key=lambda u: u.time)
+        latencies: List[float] = []
+        recorded: List[ServedBatch] = []
+        num_batches = 0
+        num_served = 0
+        engine_seconds = 0.0
+
+        def execute(tenant_id: str, batch: List[Request],
+                    flush_time: float) -> None:
+            nonlocal num_batches, num_served, engine_seconds
+            if not batch:
+                return
+            # The event loop only releases queues when an event (arrival,
+            # update, end of trace) reaches it, which can be long after the
+            # queue's deadline if the stream went idle.  A timer-driven
+            # batcher would have fired at oldest-arrival + max_delay, so
+            # queueing latency is charged against that moment (never before
+            # the batch's last arrival).
+            flush_time = max(batch[-1].time,
+                             min(flush_time,
+                                 batch[0].time + self.policy.max_delay))
+            slot = self.registry.slot(tenant_id)
+            engine = slot.engine()  # installs a finished swap, if any
+            epoch = slot.epoch
+            values = packets_to_array([r.packet for r in batch])
+            start = time.perf_counter()
+            indices = engine.lookup_batch(values)
+            wall = time.perf_counter() - start
+            engine_seconds += wall
+            num_batches += 1
+            num_served += len(batch)
+            for request in batch:
+                latencies.append((flush_time - request.time) + wall)
+            if self.record_batches:
+                recorded.append(ServedBatch(
+                    tenant_id=tenant_id,
+                    epoch=epoch,
+                    flush_time=flush_time,
+                    wall_seconds=wall,
+                    requests=batch,
+                    priorities=[
+                        engine.rules[i].priority if i >= 0 else None
+                        for i in indices
+                    ],
+                ))
+
+        wall_start = time.perf_counter()
+        update_index = 0
+        last_time = 0.0
+        for request in requests:
+            last_time = max(last_time, request.time)
+            # Apply every update scheduled before this arrival.  The owning
+            # tenant's queue is flushed first so packets that arrived before
+            # the update are classified by the pre-update engine.
+            while update_index < len(pending_updates) and \
+                    pending_updates[update_index].time <= request.time:
+                update = pending_updates[update_index]
+                update_index += 1
+                last_time = max(last_time, update.time)
+                for tenant_id, batch in batcher.poll(update.time):
+                    execute(tenant_id, batch, update.time)
+                execute(update.tenant_id, batcher.flush(update.tenant_id),
+                        update.time)
+                self.registry.apply_update(
+                    update.tenant_id, adds=update.adds, removes=update.removes
+                )
+            for tenant_id, batch in batcher.offer(request):
+                execute(tenant_id, batch, request.time)
+        # Updates scheduled after the last arrival still apply (rule churn
+        # with no traffic behind it), then the tail queues drain.
+        for update in pending_updates[update_index:]:
+            last_time = max(last_time, update.time)
+            execute(update.tenant_id, batcher.flush(update.tenant_id),
+                    update.time)
+            self.registry.apply_update(
+                update.tenant_id, adds=update.adds, removes=update.removes
+            )
+        for tenant_id, batch in batcher.flush_all():
+            execute(tenant_id, batch, last_time)
+        self.registry.drain()
+        wall_seconds = time.perf_counter() - wall_start
+
+        per_tenant = self.registry.telemetry()
+        cache = {"hits": 0, "lookups": 0, "evictions": 0, "invalidations": 0}
+        swaps = stalls = 0
+        stall_seconds = 0.0
+        for entry in per_tenant.values():
+            cache["hits"] += entry["cache"]["hits"]
+            cache["lookups"] += entry["cache"]["hits"] + entry["cache"]["misses"]
+            cache["evictions"] += entry["cache"]["evictions"]
+            cache["invalidations"] += entry["cache"]["invalidations"]
+            swaps += entry["swap"]["swaps"]
+            stalls += entry["swap"]["stalls"]
+            stall_seconds += entry["swap"]["stall_seconds"]
+        percentiles = {
+            pct: float(np.percentile(latencies, pct)) if latencies else 0.0
+            for pct in LATENCY_PERCENTILES
+        }
+        return ServingReport(
+            num_requests=num_served,
+            num_batches=num_batches,
+            num_updates=len(pending_updates),
+            wall_seconds=wall_seconds,
+            engine_seconds=engine_seconds,
+            trace_seconds=last_time,
+            latency_percentiles=percentiles,
+            mean_batch_size=num_served / num_batches if num_batches else 0.0,
+            cache_hits=cache["hits"],
+            cache_lookups=cache["lookups"],
+            cache_evictions=cache["evictions"],
+            cache_invalidations=cache["invalidations"],
+            swaps=swaps,
+            swap_stalls=stalls,
+            swap_stall_seconds=stall_seconds,
+            per_tenant=per_tenant,
+            batches=recorded if self.record_batches else None,
+        )

@@ -1,0 +1,38 @@
+"""Serving workload generation: flow traces, tenant scenarios, rule churn.
+
+Builds on :mod:`repro.classbench` (which provides the ClassBench-style
+ruleset generator and per-packet traces) to produce the *serving-side*
+workloads the multi-tenant service is driven with: flow-structured traffic
+with Zipf locality and bursty arrivals, multi-tenant request streams, and
+mid-trace rule-update schedules.
+"""
+
+from repro.workloads.traffic import (
+    FlowPacket,
+    FlowTraceConfig,
+    FlowTraceGenerator,
+    generate_flow_trace,
+)
+from repro.workloads.scenario import (
+    DEFAULT_FAMILIES,
+    ChurnConfig,
+    MultiTenantWorkload,
+    TenantSpec,
+    build_workload,
+    generate_churn,
+    make_tenant_specs,
+)
+
+__all__ = [
+    "FlowPacket",
+    "FlowTraceConfig",
+    "FlowTraceGenerator",
+    "generate_flow_trace",
+    "DEFAULT_FAMILIES",
+    "ChurnConfig",
+    "MultiTenantWorkload",
+    "TenantSpec",
+    "build_workload",
+    "generate_churn",
+    "make_tenant_specs",
+]

@@ -1,0 +1,187 @@
+"""Flow-level traffic generation: Zipf locality and bursty arrivals.
+
+The classbench trace generator (:mod:`repro.classbench.traces`) draws each
+*packet* independently, which is right for offline benchmarks but wrong for
+a serving path: real traffic consists of *flows* — repeated packets sharing
+one 5-tuple — whose popularity is heavily skewed, and whose arrivals come in
+bursts rather than a smooth stream.  This module generates such traces:
+
+* a fixed flow population is drawn first (each flow's header targeted at a
+  rule of the classifier with probability ``rule_bias``, uniform otherwise);
+* per-packet flow choice follows a Zipf distribution over the population
+  (``zipf_alpha`` is the locality knob the flow cache lives off);
+* arrival timestamps follow an on/off burst process: within a burst packets
+  arrive at ``peak_rate_pps``, and inter-burst gaps are stretched so the
+  long-run average rate is ``mean_rate_pps``.
+
+Everything is deterministic for a given config (``seed`` included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.rules.fields import DIMENSIONS, FIELD_RANGES
+from repro.rules.packet import Packet
+from repro.rules.ruleset import RuleSet
+
+
+@dataclass(frozen=True)
+class FlowTraceConfig:
+    """Knobs of the flow-level trace generator.
+
+    Attributes:
+        num_packets: total packets in the trace.
+        num_flows: size of the flow population packets are drawn from.
+        zipf_alpha: flow-popularity skew; larger values concentrate traffic
+            on fewer flows (higher flow-cache hit rates).
+        rule_bias: probability a flow's header is sampled inside some rule's
+            hypercube (the rest fall through to the default rule).
+        mean_rate_pps: long-run average arrival rate, packets per trace
+            second.
+        peak_rate_pps: within-burst arrival rate; must be >= mean_rate_pps.
+        mean_burst: average packets per burst (1 = smooth Poisson arrivals).
+        seed: RNG seed; the same config always yields the same trace.
+    """
+
+    num_packets: int = 10_000
+    num_flows: int = 512
+    zipf_alpha: float = 1.1
+    rule_bias: float = 0.95
+    mean_rate_pps: float = 50_000.0
+    peak_rate_pps: float = 500_000.0
+    mean_burst: float = 16.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_packets < 1:
+            raise ValueError("num_packets must be >= 1")
+        if self.num_flows < 1:
+            raise ValueError("num_flows must be >= 1")
+        if self.zipf_alpha <= 0:
+            raise ValueError("zipf_alpha must be > 0")
+        if not 0.0 <= self.rule_bias <= 1.0:
+            raise ValueError("rule_bias must be within [0, 1]")
+        if self.mean_rate_pps <= 0 or self.peak_rate_pps < self.mean_rate_pps:
+            raise ValueError(
+                "rates must satisfy 0 < mean_rate_pps <= peak_rate_pps"
+            )
+        if self.mean_burst < 1.0:
+            raise ValueError("mean_burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class FlowPacket:
+    """One trace entry: a timestamped packet belonging to a flow."""
+
+    time: float
+    packet: Packet
+    flow_id: int
+
+
+class FlowTraceGenerator:
+    """Generates flow-structured, bursty packet traces for one classifier."""
+
+    def __init__(self, ruleset: RuleSet,
+                 config: FlowTraceConfig = FlowTraceConfig()) -> None:
+        self.ruleset = ruleset
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self.flows: List[Packet] = self._draw_flows()
+        self._flow_weights = self._zipf_weights(len(self.flows))
+
+    # ------------------------------------------------------------------ #
+    # Population
+    # ------------------------------------------------------------------ #
+
+    def _draw_flows(self) -> List[Packet]:
+        """Draw the flow population (distinct 5-tuples where possible)."""
+        cfg = self.config
+        rules = self.ruleset.rules
+        flows: List[Packet] = []
+        seen: set = set()
+        attempts = 0
+        max_attempts = cfg.num_flows * 20
+        while len(flows) < cfg.num_flows and attempts < max_attempts:
+            attempts += 1
+            if self._rng.random() < cfg.rule_bias:
+                rule = rules[int(self._rng.integers(len(rules)))]
+                values = tuple(
+                    int(self._rng.integers(lo, hi)) for lo, hi in rule.ranges
+                )
+            else:
+                values = tuple(
+                    int(self._rng.integers(lo, hi))
+                    for lo, hi in (FIELD_RANGES[d] for d in DIMENSIONS)
+                )
+            if values in seen:
+                continue
+            seen.add(values)
+            flows.append(Packet.from_values(values))
+        if not flows:  # tiny spaces can exhaust attempts; never return empty
+            flows.append(Packet.from_values(
+                tuple(lo for lo, _ in (FIELD_RANGES[d] for d in DIMENSIONS))
+            ))
+        return flows
+
+    def _zipf_weights(self, n: int) -> np.ndarray:
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = ranks ** (-self.config.zipf_alpha)
+        # Shuffle so flow_id order carries no popularity information.
+        weights = weights[self._rng.permutation(n)]
+        return weights / weights.sum()
+
+    # ------------------------------------------------------------------ #
+    # Arrivals
+    # ------------------------------------------------------------------ #
+
+    def _arrival_times(self) -> np.ndarray:
+        """Strictly increasing timestamps from the on/off burst process."""
+        cfg = self.config
+        times = np.empty(cfg.num_packets)
+        peak_gap = 1.0 / cfg.peak_rate_pps
+        # Inter-burst idle stretches the average spacing from the peak gap
+        # back out to the mean gap, amortised over the burst's packets.
+        idle_per_packet = max(1.0 / cfg.mean_rate_pps - peak_gap, 0.0)
+        now = 0.0
+        produced = 0
+        while produced < cfg.num_packets:
+            burst = int(self._rng.geometric(1.0 / cfg.mean_burst)) \
+                if cfg.mean_burst > 1.0 else 1
+            burst = min(max(burst, 1), cfg.num_packets - produced)
+            gaps = self._rng.exponential(peak_gap, size=burst)
+            times[produced:produced + burst] = now + np.cumsum(gaps)
+            now = times[produced + burst - 1]
+            produced += burst
+            now += self._rng.exponential(idle_per_packet * burst) \
+                if idle_per_packet > 0 else 0.0
+        return times
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def generate(self) -> List[FlowPacket]:
+        """Generate the configured trace, ordered by arrival time."""
+        cfg = self.config
+        flow_ids = self._rng.choice(
+            len(self.flows), size=cfg.num_packets, p=self._flow_weights
+        )
+        times = self._arrival_times()
+        return [
+            FlowPacket(time=float(t), packet=self.flows[int(f)],
+                       flow_id=int(f))
+            for t, f in zip(times, flow_ids)
+        ]
+
+
+def generate_flow_trace(ruleset: RuleSet, num_packets: int = 10_000,
+                        num_flows: int = 512, zipf_alpha: float = 1.1,
+                        seed: int = 0, **overrides) -> List[FlowPacket]:
+    """Convenience wrapper: one flow trace for one classifier."""
+    config = FlowTraceConfig(num_packets=num_packets, num_flows=num_flows,
+                             zipf_alpha=zipf_alpha, seed=seed, **overrides)
+    return FlowTraceGenerator(ruleset, config).generate()

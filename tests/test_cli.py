@@ -60,16 +60,67 @@ class TestCommands:
 
 
 class TestEngineBench:
-    def test_engine_bench_reports_speedup(self, capsys):
+    def test_engine_bench_reports_speedup_and_hit_rate(self, capsys):
         code = main(["engine-bench", "--num-rules", "120",
-                     "--num-packets", "3000", "--flow-cache", "512"])
+                     "--num-packets", "3000", "--flow-cache", "512",
+                     "--seed", "5"])
         assert code == 0
         out = capsys.readouterr().out
         assert "compiled" in out
         assert "speedup" in out
+        assert "flow cache:" in out
+        assert "hit rate" in out
+        assert "evictions" in out
+
+    def test_engine_bench_seed_reproduces_the_run(self, capsys):
+        argv = ["engine-bench", "--num-rules", "60", "--num-packets", "500",
+                "--seed", "9"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # Same seed, same generated ruleset and sampled packets: the
+        # workload summary (everything before the compile wall time)
+        # matches exactly.
+        summary = lambda out: out.splitlines()[0].split(", compile")[0]
+        assert summary(first) == summary(second)
+        assert "60 rules, 500 packets" in summary(first)
 
     def test_engine_bench_rejects_unknown_algorithm(self, capsys):
         code = main(["engine-bench", "--algorithm", "NoSuchCuts",
                      "--num-rules", "50", "--num-packets", "100"])
         assert code == 2
         assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestServeBench:
+    def test_serve_bench_arguments(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--tenants", "2", "--num-packets", "500",
+             "--churn-events", "1", "--verify"]
+        )
+        assert args.command == "serve-bench"
+        assert args.tenants == 2 and args.verify
+
+    def test_serve_bench_reports_and_verifies(self, capsys):
+        code = main(["serve-bench", "--tenants", "2", "--num-rules", "60",
+                     "--num-packets", "1200", "--num-flows", "120",
+                     "--churn-events", "1", "--verify", "--sync-swaps"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "latency p99" in out
+        assert "cache hit rate" in out
+        assert "engine swaps" in out
+        assert "0 mismatches" in out
+
+    def test_serve_bench_rejects_bad_family(self, capsys):
+        code = main(["serve-bench", "--families", "nope",
+                     "--num-packets", "100"])
+        assert code == 2
+        assert "unknown seed family" in capsys.readouterr().err
+
+    def test_serve_bench_rejects_bad_counts(self, capsys):
+        assert main(["serve-bench", "--tenants", "0"]) == 2
+        capsys.readouterr()
+        assert main(["serve-bench", "--num-packets", "0"]) == 2

@@ -180,6 +180,28 @@ class TestFlowCache:
         assert [r.priority if r else None for r in again] == \
             [r.priority if r else None for r in uncached]
 
+    def test_clear_counts_invalidations_separately(self):
+        cache = FlowCache(capacity=4)
+        cache.put((1, 1, 1, 1, 1), 10)
+        cache.put((2, 2, 2, 2, 2), 20)
+        dropped = cache.clear()
+        assert dropped == 2 and len(cache) == 0
+        assert cache.stats.invalidations == 2
+        assert cache.stats.evictions == 0  # LRU evictions stay distinct
+        assert cache.clear() == 0
+
+    def test_stats_merge_and_as_dict(self):
+        from repro.engine import FlowCacheStats
+
+        total = FlowCacheStats(hits=3, misses=1, evictions=2, invalidations=1)
+        total.merge(FlowCacheStats(hits=1, misses=1, evictions=0,
+                                   invalidations=4))
+        assert (total.hits, total.misses) == (4, 2)
+        assert (total.evictions, total.invalidations) == (2, 5)
+        as_dict = total.as_dict()
+        assert as_dict["hit_rate"] == pytest.approx(4 / 6)
+        assert as_dict["invalidations"] == 5
+
     def test_attach_and_detach(self, acl_classifier):
         compiled = acl_classifier.compile()
         cache = compiled.attach_flow_cache(16)

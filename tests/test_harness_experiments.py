@@ -68,6 +68,34 @@ class TestFigure10Runner:
         assert "acl1_1k" in result.efficuts["bytes_per_rule"]
 
 
+class TestServing:
+    def test_run_serving_reports_and_verifies(self):
+        from repro.harness import run_serving
+
+        result = run_serving(num_tenants=2, num_rules=50, num_packets=1000,
+                             num_flows=100, churn_events=1,
+                             background_swaps=False, record_batches=True,
+                             seed=4)
+        report = result.report
+        assert report.num_requests == len(result.workload.requests)
+        assert report.swaps == 1 and report.num_updates == 1
+        assert report.pps > 0
+        assert len(result.rows()) >= 8
+        assert len(result.tenant_rows()) == 2
+        exactness = result.verify_exactness()
+        assert exactness.is_exact
+        assert exactness.num_checked == report.num_requests
+        assert exactness.num_post_swap > 0
+
+    def test_verify_exactness_requires_recording(self):
+        from repro.harness import run_serving
+
+        result = run_serving(num_tenants=1, num_rules=40, num_packets=200,
+                             num_flows=40, churn_events=0, seed=1)
+        with pytest.raises(ValueError):
+            result.verify_exactness()
+
+
 class TestThroughput:
     def test_run_throughput_reports_every_algorithm(self, micro_scale,
                                                     micro_specs):

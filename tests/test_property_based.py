@@ -11,11 +11,14 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
+from repro.baselines import EffiCutsBuilder, HiCutsBuilder
+from repro.classbench import generate_classifier, seed_names
 from repro.rules import DIMENSIONS, FIELD_RANGES, Packet, Rule, RuleSet
 from repro.rules.fields import Dimension, prefix_to_range
 from repro.tree import CUT_SIZES, CutAction, DecisionTree, Node, build_with_policy
 from repro.tree.node import remove_redundant_rules
 from repro.nn.distributions import Categorical
+from repro.workloads import generate_flow_trace
 
 # --------------------------------------------------------------------------- #
 # Strategies
@@ -130,6 +133,38 @@ def test_tree_agrees_with_linear_search(ruleset):
         actual = tree.classify(packet)
         assert (actual.priority if actual else None) == \
             (expected.priority if expected else None)
+
+
+# --------------------------------------------------------------------------- #
+# Engine differential properties on generated workloads
+# --------------------------------------------------------------------------- #
+
+
+@given(family=st.sampled_from(sorted(seed_names())),
+       num_rules=st.integers(min_value=16, max_value=60),
+       seed=st.integers(min_value=0, max_value=10 ** 4),
+       efficuts=st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_generated_workloads_classify_identically_everywhere(
+        family, num_rules, seed, efficuts):
+    """Interpreter, compiled engine, and linear search agree packet-for-packet
+    on any generated (family, size, seed) workload — the exactness invariant
+    the serving layer is built on."""
+    ruleset = generate_classifier(family, num_rules, seed=seed)
+    builder = EffiCutsBuilder(binth=8) if efficuts else HiCutsBuilder(binth=8)
+    classifier = builder.build(ruleset)
+    packets = [entry.packet for entry in
+               generate_flow_trace(ruleset, num_packets=96, num_flows=24,
+                                   seed=seed)]
+    linear = [ruleset.classify(p) for p in packets]
+    interpreted = classifier.classify_batch(packets, engine="interpreter")
+    compiled = classifier.classify_batch(packets, engine="compiled")
+
+    def priorities(matches):
+        return [m.priority if m else None for m in matches]
+
+    assert priorities(interpreted) == priorities(linear)
+    assert priorities(compiled) == priorities(linear)
 
 
 # --------------------------------------------------------------------------- #

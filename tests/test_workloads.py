@@ -1,0 +1,165 @@
+"""Tests for the serving workload generators (`repro.workloads`)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.classbench import generate_classifier
+from repro.workloads import (
+    ChurnConfig,
+    FlowTraceConfig,
+    FlowTraceGenerator,
+    build_workload,
+    generate_flow_trace,
+    make_tenant_specs,
+)
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    return generate_classifier("acl1", 60, seed=4)
+
+
+class TestFlowTraceConfig:
+    @pytest.mark.parametrize("overrides", [
+        {"num_packets": 0},
+        {"num_flows": 0},
+        {"zipf_alpha": 0.0},
+        {"rule_bias": 1.5},
+        {"mean_rate_pps": 0.0},
+        {"peak_rate_pps": 1.0, "mean_rate_pps": 2.0},
+        {"mean_burst": 0.5},
+    ])
+    def test_rejects_invalid_configs(self, overrides):
+        with pytest.raises(ValueError):
+            FlowTraceConfig(**overrides)
+
+
+class TestFlowTraceGenerator:
+    def test_deterministic_for_a_seed(self, ruleset):
+        config = FlowTraceConfig(num_packets=400, num_flows=50, seed=3)
+        first = FlowTraceGenerator(ruleset, config).generate()
+        second = FlowTraceGenerator(ruleset, config).generate()
+        assert [(e.time, e.packet, e.flow_id) for e in first] == \
+            [(e.time, e.packet, e.flow_id) for e in second]
+        different = FlowTraceGenerator(
+            ruleset, FlowTraceConfig(num_packets=400, num_flows=50, seed=4)
+        ).generate()
+        assert [e.packet for e in first] != [e.packet for e in different]
+
+    def test_packets_of_a_flow_share_one_header(self, ruleset):
+        trace = generate_flow_trace(ruleset, num_packets=600, num_flows=40,
+                                    seed=1)
+        by_flow = {}
+        for entry in trace:
+            by_flow.setdefault(entry.flow_id, set()).add(entry.packet)
+        assert all(len(headers) == 1 for headers in by_flow.values())
+
+    def test_zipf_concentrates_traffic(self, ruleset):
+        trace = generate_flow_trace(ruleset, num_packets=4000, num_flows=200,
+                                    zipf_alpha=1.3, seed=2)
+        counts = Counter(e.flow_id for e in trace)
+        top10 = sum(c for _, c in counts.most_common(10))
+        # Under Zipf(1.3) the 10 hottest of 200 flows carry far more than
+        # the 5% a uniform draw would give them.
+        assert top10 / len(trace) > 0.3
+
+    def test_arrivals_increase_and_are_bursty(self, ruleset):
+        config = FlowTraceConfig(num_packets=2000, num_flows=100,
+                                 mean_rate_pps=10_000, peak_rate_pps=200_000,
+                                 mean_burst=20.0, seed=5)
+        trace = FlowTraceGenerator(ruleset, config).generate()
+        times = [e.time for e in trace]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        # Bursty arrivals: the median gap (inside bursts) is much smaller
+        # than the mean gap (stretched by inter-burst idle).
+        median_gap = sorted(gaps)[len(gaps) // 2]
+        assert median_gap < mean_gap / 2
+
+    def test_rule_bias_zero_still_generates(self, ruleset):
+        trace = generate_flow_trace(ruleset, num_packets=50, num_flows=10,
+                                    seed=0, rule_bias=0.0)
+        assert len(trace) == 50
+
+
+class TestScenario:
+    def test_make_tenant_specs_cycles_families(self):
+        specs = make_tenant_specs(5, families=("acl1", "fw1"), num_rules=30)
+        assert [s.seed_name for s in specs] == \
+            ["acl1", "fw1", "acl1", "fw1", "acl1"]
+        assert len({s.tenant_id for s in specs}) == 5
+        assert len({s.seed for s in specs}) == 5  # per-tenant rulesets differ
+
+    def test_make_tenant_specs_validates(self):
+        with pytest.raises(ValueError):
+            make_tenant_specs(0)
+        with pytest.raises(ValueError):
+            make_tenant_specs(2, families=("nope",))
+        with pytest.raises(ValueError):
+            make_tenant_specs(2, families=())
+
+    def test_build_workload_merges_by_time(self):
+        specs = make_tenant_specs(3, num_rules=40, seed=1)
+        workload = build_workload(
+            specs, FlowTraceConfig(num_packets=900, num_flows=90, seed=2)
+        )
+        times = [r.time for r in workload.requests]
+        assert times == sorted(times)
+        tenants = {r.tenant_id for r in workload.requests}
+        assert tenants == {s.tenant_id for s in specs}
+        assert set(workload.rulesets) == tenants
+
+    def test_tenant_zipf_share_skews_traffic(self):
+        specs = make_tenant_specs(3, num_rules=40, seed=1)
+        workload = build_workload(
+            specs, FlowTraceConfig(num_packets=1200, num_flows=90, seed=2),
+            tenant_zipf_alpha=1.5,
+        )
+        counts = Counter(r.tenant_id for r in workload.requests)
+        ordered = [counts[s.tenant_id] for s in specs]
+        assert ordered[0] > ordered[1] > ordered[2]
+
+    def test_churn_events_are_valid(self):
+        specs = make_tenant_specs(2, num_rules=50, seed=3)
+        workload = build_workload(
+            specs, FlowTraceConfig(num_packets=800, num_flows=80, seed=3),
+            churn=ChurnConfig(num_events=4, adds_per_event=3,
+                              removes_per_event=2),
+        )
+        assert len(workload.updates) == 4
+        duration = workload.duration
+        seen_removed = set()
+        for update in workload.updates:
+            assert 0.0 <= update.time <= duration
+            ruleset = workload.rulesets[update.tenant_id]
+            live_priorities = {r.priority for r in ruleset.rules}
+            for rule in update.removes:
+                # Removals target rules that existed and weren't removed yet,
+                # and never the default rule.
+                assert rule not in seen_removed
+                assert rule.num_wildcard_dims() < 5
+                seen_removed.add(rule)
+            for rule in update.adds:
+                # Additions are fresh high-priority rules.
+                assert rule.priority not in live_priorities
+                assert rule.priority > max(live_priorities)
+
+    def test_churn_priorities_are_distinct(self):
+        specs = make_tenant_specs(1, num_rules=40, seed=0)
+        workload = build_workload(
+            specs, FlowTraceConfig(num_packets=400, num_flows=40, seed=0),
+            churn=ChurnConfig(num_events=3, adds_per_event=4,
+                              removes_per_event=0),
+        )
+        added = [r.priority for u in workload.updates for r in u.adds]
+        assert len(added) == len(set(added))
+
+    def test_churn_config_validates(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(num_events=-1)
+        with pytest.raises(ValueError):
+            ChurnConfig(window=(0.9, 0.1))
