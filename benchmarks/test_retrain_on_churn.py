@@ -1,0 +1,154 @@
+"""Acceptance benchmark for the adaptive serving loop (retrain + sharding).
+
+Two guarantees are asserted end to end:
+
+1. **Retrain-on-churn**: a churn-heavy multi-tenant workload pushes every
+   tenant past its retrain threshold; background NeuroCuts retrains are
+   triggered mid-run, and the freshly trained *trees* (not just recompiled
+   arrays) hot-swap into the serving path with zero dropped and zero
+   misclassified packets — every answer still equals linear search over the
+   exact ruleset generation its engine served.
+2. **Tenant-sharded serving**: the same scenario sharded across N worker
+   processes serves the identical request set with exact merged telemetry;
+   the parallel speedup assertion is gated on available CPUs (a 1-core CI
+   container runs the machinery but skips the bar).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness import format_table
+from repro.harness.serving import run_serving
+from repro.serve import RetrainPolicy
+from repro.workloads import ChurnConfig
+
+NUM_TENANTS = 2
+NUM_RULES = 60
+NUM_PACKETS = 8_000
+RETRAIN_THRESHOLD = 6
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_retrain_on_churn_zero_misclassification(run_once, benchmark):
+    # Size the churn so every tenant crosses the retrain threshold with
+    # trace left to serve under the retrained tree.
+    churn = ChurnConfig.forcing_retrain(RETRAIN_THRESHOLD,
+                                        num_tenants=NUM_TENANTS,
+                                        adds_per_event=4,
+                                        removes_per_event=2)
+    result = run_once(
+        run_serving,
+        num_tenants=NUM_TENANTS,
+        families=("acl1", "ipc1"),
+        num_rules=NUM_RULES,
+        num_packets=NUM_PACKETS,
+        num_flows=400,
+        churn_events=churn.num_events,
+        adds_per_event=churn.adds_per_event,
+        removes_per_event=churn.removes_per_event,
+        retrain_threshold=RETRAIN_THRESHOLD,
+        # The retrain runs on a background thread while serving continues;
+        # a tiny budget keeps the benchmark CI-sized.
+        retrain_policy=RetrainPolicy(timesteps=400, max_iterations=2,
+                                     backend="thread", seed=0),
+        record_batches=True,
+        seed=0,
+    )
+    report = result.report
+
+    print("\n=== Retrain-on-churn serving loop ===")
+    print(result.workload.describe())
+    print(format_table(["metric", "value"], report.rows()))
+    print(format_table(
+        ["tenant", "rules", "epoch", "hit rate", "evictions", "swaps",
+         "stalls"],
+        result.tenant_rows(),
+    ))
+    benchmark.extra_info["pps"] = report.pps
+    benchmark.extra_info["retrains_triggered"] = report.retrains_triggered
+    benchmark.extra_info["retrains_installed"] = report.retrains_installed
+    benchmark.extra_info["swaps"] = report.swaps
+
+    # The churn demonstrably crossed every tenant's threshold and the
+    # background retrains landed.
+    assert report.retrains_triggered >= NUM_TENANTS, \
+        "churn never pushed a tenant past its retrain threshold"
+    assert report.retrains_installed == report.retrains_triggered
+    assert report.retrains_discarded == 0
+
+    # Each rule update swaps once and each retrain adoption swaps once —
+    # nothing else may move an engine, and nothing may be lost.
+    assert report.swaps == report.num_updates + report.retrains_installed
+
+    # No dropped packets: every generated request was answered exactly once.
+    assert report.num_requests == len(result.workload.requests)
+
+    # Zero misclassifications across updates AND tree adoptions: every
+    # served packet equals linear search over its engine epoch's ruleset.
+    exactness = result.verify_exactness()
+    assert exactness.num_checked == report.num_requests
+    assert exactness.num_post_swap > 0
+    assert exactness.num_mismatches == 0, (
+        f"{exactness.num_mismatches} answers disagree with linear search "
+        f"across the retrain swap"
+    )
+
+    # The retrained trees serve the *latest* rulesets: counters restarted.
+    for tenant_id, entry in report.per_tenant.items():
+        assert not entry["retrain"]["needs_retraining"], \
+            f"{tenant_id} still wants retraining after its retrain landed"
+
+
+def test_sharded_serving_merged_telemetry_and_speedup(run_once, benchmark):
+    kwargs = dict(
+        num_tenants=4,
+        families=("acl1", "ipc1"),
+        num_rules=NUM_RULES,
+        num_packets=20_000,
+        num_flows=600,
+        churn_events=2,
+        record_batches=True,
+        seed=1,
+    )
+    serial = run_serving(serving_workers=1, **kwargs)
+    sharded = run_once(run_serving, serving_workers=2,
+                       serving_backend="process", **kwargs)
+    report = sharded.report
+
+    print("\n=== Tenant-sharded serving (2 worker processes) ===")
+    print(format_table(["metric", "value"], sharded.rows()))
+    print(format_table(["shard", "tenants", "requests", "wall"],
+                       sharded.shard_rows()))
+    benchmark.extra_info["pps_sharded"] = report.pps
+    benchmark.extra_info["pps_serial"] = serial.report.pps
+
+    # Merged telemetry: every request served exactly once, across shards.
+    assert report.num_requests == len(sharded.workload.requests)
+    assert report.num_requests == serial.report.num_requests
+    assert report.num_updates == serial.report.num_updates
+    assert sorted(report.per_tenant) == sorted(serial.report.per_tenant)
+    assert sharded.num_shards == 2
+
+    # Exactness holds shard-locally and across the process boundary.
+    exactness = sharded.verify_exactness()
+    assert exactness.num_checked == report.num_requests
+    assert exactness.num_mismatches == 0
+
+    # Parallel speedup only exists with real cores; gate it (CI has 1).
+    cpus = _available_cpus()
+    if cpus >= 2:
+        speedup = report.pps / serial.report.pps
+        assert speedup >= 1.1, (
+            f"expected sharded serving to beat single-process on {cpus} "
+            f"CPUs, got {speedup:.2f}x"
+        )
+    else:
+        print(f"only {cpus} CPU available; skipping the speedup assertion "
+              f"(worker processes cannot beat serial on one core)")

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Documentation consistency checks (run by the CI docs job).
+
+Two guarantees keep the docs from drifting away from the code:
+
+1. **Links resolve** — every intra-repo markdown link in README.md,
+   ROADMAP.md, and docs/*.md points at a file that exists (external
+   http(s) links and pure #anchors are skipped).
+2. **The CLI reference is live** — every ``repro <command>`` heading in
+   docs/cli.md names a real subcommand (``repro <command> --help`` must
+   exit 0), and every subcommand the CLI actually exposes is documented.
+
+Exit code 0 when everything checks out; 1 with a per-problem report
+otherwise.  Run from the repository root:
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files whose intra-repo links must resolve.
+LINKED_DOCS = ["README.md", "ROADMAP.md"]
+
+#: Matches markdown inline links: [text](target).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Matches CLI reference headings: ## `repro <command>`
+CLI_HEADING_RE = re.compile(r"^##\s+`repro\s+([a-z][a-z0-9-]*)`", re.MULTILINE)
+
+
+def check_links(problems: List[str]) -> int:
+    """Verify every relative markdown link target exists; returns #links."""
+    files = [REPO_ROOT / name for name in LINKED_DOCS]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    checked = 0
+    for doc in files:
+        if not doc.exists():
+            problems.append(f"{doc.relative_to(REPO_ROOT)}: file missing")
+            continue
+        for match in LINK_RE.finditer(doc.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return checked
+
+
+def check_cli_reference(problems: List[str]) -> List[str]:
+    """Verify docs/cli.md and the real CLI agree; returns documented cmds."""
+    cli_doc = REPO_ROOT / "docs" / "cli.md"
+    if not cli_doc.exists():
+        problems.append("docs/cli.md is missing")
+        return []
+    documented = CLI_HEADING_RE.findall(cli_doc.read_text(encoding="utf-8"))
+    if not documented:
+        problems.append("docs/cli.md documents no `repro <command>` headings")
+        return []
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    for command in documented:
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", command, "--help"],
+            capture_output=True, env=env, cwd=REPO_ROOT,
+        )
+        if result.returncode != 0:
+            problems.append(
+                f"docs/cli.md documents `repro {command}` but "
+                f"`repro {command} --help` exits "
+                f"{result.returncode}: {result.stderr.decode().strip()[:200]}"
+            )
+
+    # The reverse direction: every real subcommand must be documented.
+    sys.path.insert(0, src)
+    try:
+        from repro.cli import _COMMANDS
+    finally:
+        sys.path.pop(0)
+    for command in sorted(_COMMANDS):
+        if command not in documented:
+            problems.append(
+                f"`repro {command}` exists but is not documented in "
+                f"docs/cli.md (add a `## \\`repro {command}\\`` section)"
+            )
+    return documented
+
+
+def main() -> int:
+    problems: List[str] = []
+    num_links = check_links(problems)
+    documented = check_cli_reference(problems)
+    if problems:
+        print(f"docs check FAILED ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"docs check OK: {num_links} intra-repo links resolve, "
+          f"{len(documented)} CLI subcommands documented and live "
+          f"({', '.join(documented)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 """Command-line interface.
 
-Four subcommands cover the library's day-to-day workflows without writing
-Python:
+The subcommands cover the library's day-to-day workflows without writing
+Python (full reference with copy-pasteable invocations: docs/cli.md):
 
 * ``repro generate`` — emit a ClassBench-style filter file for a seed family.
 * ``repro compare``  — build a rule file with every baseline (and optionally
@@ -14,7 +14,10 @@ Python:
 * ``repro serve-bench`` — drive the multi-tenant serving layer with a
   generated flow workload (Zipf locality, bursty arrivals, optional rule
   churn with zero-downtime engine hot swaps) and report pps, latency
-  percentiles, cache hit rate, and swap telemetry.
+  percentiles, cache hit rate, and swap telemetry.  ``--retrain-threshold``
+  arms the retrain-on-churn loop (background NeuroCuts retrains swap in new
+  trees mid-run) and ``--serving-workers`` shards tenants across serving
+  processes with merged telemetry.
 
 Run ``python -m repro.cli --help`` (or the installed ``repro`` script) for
 details.
@@ -30,6 +33,7 @@ from typing import List, Optional, Sequence
 
 from repro.baselines import default_baselines
 from repro.classbench import generate_classifier, generate_trace, seed_names
+from repro.executors import EXECUTOR_BACKENDS
 from repro.neurocuts import NeuroCutsConfig, NeuroCutsTrainer
 from repro.rules import io as rules_io
 from repro.tree import load_tree, save_tree, validate_classifier
@@ -145,6 +149,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verify", action="store_true",
                        help="re-check every answer against linear search "
                             "(slow; proves exactness across hot swaps)")
+    serve.add_argument("--retrain-threshold", type=int, default=0,
+                       metavar="N",
+                       help="retrain a tenant's tree once N rule updates "
+                            "accumulate (0 disables the retrain loop)")
+    serve.add_argument("--retrain-timesteps", type=int, default=3000,
+                       help="NeuroCuts timestep budget per background "
+                            "retrain")
+    serve.add_argument("--retrain-backend", default="thread",
+                       choices=EXECUTOR_BACKENDS,
+                       help="where retrain jobs run (thread overlaps "
+                            "serving; serial is deterministic/inline)")
+    serve.add_argument("--serving-workers", type=int, default=1,
+                       metavar="N",
+                       help="shard tenants across N serving workers "
+                            "(1 = single process)")
+    serve.add_argument("--serving-backend", default="process",
+                       choices=EXECUTOR_BACKENDS,
+                       help="executor backend for serving shards")
     serve.add_argument("--seed", type=int, default=0)
 
     return parser
@@ -299,7 +321,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.num_packets < 1:
         print("error: --num-packets must be >= 1", file=sys.stderr)
         return 2
+    if args.serving_workers < 1:
+        print("error: --serving-workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.retrain_threshold < 0:
+        print("error: --retrain-threshold must be >= 0", file=sys.stderr)
+        return 2
     families = tuple(f.strip() for f in args.families.split(",") if f.strip())
+    retrain_policy = None
+    if args.retrain_threshold > 0:
+        from repro.serve.controller import RetrainPolicy
+
+        retrain_policy = RetrainPolicy(timesteps=args.retrain_timesteps,
+                                       backend=args.retrain_backend,
+                                       seed=args.seed)
     try:
         result = run_serving(
             num_tenants=args.tenants,
@@ -317,6 +352,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             churn_events=args.churn_events,
             background_swaps=not args.sync_swaps,
             record_batches=args.verify,
+            retrain_threshold=args.retrain_threshold
+            if args.retrain_threshold > 0 else None,
+            retrain_policy=retrain_policy,
+            serving_workers=args.serving_workers,
+            serving_backend=args.serving_backend,
             seed=args.seed,
         )
     except ValueError as error:
@@ -330,6 +370,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
          "stalls"],
         result.tenant_rows(),
     ))
+    if args.serving_workers > 1:
+        print(format_table(
+            ["shard", "tenants", "requests", "wall"],
+            result.shard_rows(),
+        ))
     if args.verify:
         exactness = result.verify_exactness()
         print(f"differential check: {exactness.num_checked} packets "

@@ -13,6 +13,14 @@ with two backends —
   The pool is created lazily on first use and reused across ``map`` calls,
   so per-iteration work (e.g. one PPO batch worth of rollout shards) does not
   pay process start-up and initializer costs every time.
+* :class:`ThreadExecutor` — a persistent thread pool for tasks that must
+  share the caller's memory (no pickling) and overlap it asynchronously,
+  e.g. a background NeuroCuts retrain running beside a serving loop.
+
+Beyond ordered ``map``, every backend supports ``submit`` — fire one task
+and get a :class:`TaskHandle` to poll (``ready()``) or await (``result()``).
+The serial backend runs submitted tasks inline and returns completed
+handles, which keeps single-threaded runs deterministic.
 
 Both backends accept an ``initializer`` so worker processes can build
 expensive per-worker state (an environment plus a policy replica) once and
@@ -28,14 +36,64 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import multiprocessing.dummy
 import multiprocessing.pool
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, Generic, List, Optional, Sequence, Tuple, \
+    TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Backend names accepted by :func:`make_executor`.
-EXECUTOR_BACKENDS = ("serial", "process")
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+class TaskHandle(Generic[R]):
+    """A single in-flight :meth:`RolloutExecutor.submit` task.
+
+    The minimal future surface the serving layer needs: :meth:`ready` to poll
+    without blocking (so a serving loop can check for a finished retrain
+    between batches) and :meth:`result` to block until the value — or the
+    task's exception — is available.
+    """
+
+    def ready(self) -> bool:
+        """True once :meth:`result` would return without blocking."""
+        raise NotImplementedError
+
+    def result(self) -> R:
+        """Block until the task finishes; re-raises the task's exception."""
+        raise NotImplementedError
+
+
+class CompletedTask(TaskHandle[R]):
+    """A task that already ran (the serial backend submits eagerly)."""
+
+    def __init__(self, value: Optional[R] = None,
+                 error: Optional[BaseException] = None) -> None:
+        self._value = value
+        self._error = error
+
+    def ready(self) -> bool:
+        return True
+
+    def result(self) -> R:
+        if self._error is not None:
+            raise self._error
+        return self._value  # type: ignore[return-value]
+
+
+class _AsyncResultTask(TaskHandle[R]):
+    """Wraps a ``multiprocessing`` ``AsyncResult`` (pool backends)."""
+
+    def __init__(self, async_result: multiprocessing.pool.AsyncResult) -> None:
+        self._async_result = async_result
+
+    def ready(self) -> bool:
+        return self._async_result.ready()
+
+    def result(self) -> R:
+        return self._async_result.get()
 
 
 class RolloutExecutor:
@@ -52,6 +110,16 @@ class RolloutExecutor:
     def map(self, func: Callable[[T], R], items: Sequence[T],
             chunk_size: int = 1) -> List[R]:
         """Apply ``func`` to every item, returning results in input order."""
+        raise NotImplementedError
+
+    def submit(self, func: Callable[[T], R], item: T) -> TaskHandle[R]:
+        """Start one task and return a handle to poll/await it.
+
+        Pool backends run the task concurrently with the caller; the serial
+        backend runs it inline *now* and returns an already-completed handle
+        (exceptions are captured and re-raised by ``result()``, so callers
+        see uniform behaviour across backends).
+        """
         raise NotImplementedError
 
     def shutdown(self) -> None:
@@ -82,11 +150,21 @@ class SerialExecutor(RolloutExecutor):
 
     def map(self, func: Callable[[T], R], items: Sequence[T],
             chunk_size: int = 1) -> List[R]:
+        self._ensure_initialized()
+        return [func(item) for item in items]
+
+    def submit(self, func: Callable[[T], R], item: T) -> TaskHandle[R]:
+        self._ensure_initialized()
+        try:
+            return CompletedTask(value=func(item))
+        except Exception as error:  # noqa: BLE001 - uniform handle surface
+            return CompletedTask(error=error)
+
+    def _ensure_initialized(self) -> None:
         if not self._initialized:
             assert self._initializer is not None
             self._initializer(*self._initargs)
             self._initialized = True
-        return [func(item) for item in items]
 
 
 class ProcessPoolExecutor(RolloutExecutor):
@@ -145,6 +223,62 @@ class ProcessPoolExecutor(RolloutExecutor):
         pool = self._ensure_pool()
         return pool.map(func, items, chunksize=max(1, int(chunk_size)))
 
+    def submit(self, func: Callable[[T], R], item: T) -> TaskHandle[R]:
+        return _AsyncResultTask(self._ensure_pool().apply_async(func, (item,)))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+class ThreadExecutor(RolloutExecutor):
+    """A persistent thread pool behind the executor interface.
+
+    Threads share the parent's memory, so tasks need no pickling — the
+    backend of choice for background work that must overlap a serving loop
+    in the *same* process (e.g. a NeuroCuts retrain kicked off by the
+    :class:`~repro.serve.controller.RetrainController`): NumPy releases the
+    GIL inside its kernels, so training genuinely overlaps serving.  CPU-bound
+    pure-Python tasks should prefer the process backend.
+    """
+
+    def __init__(self, num_workers: int,
+                 initializer: Optional[Callable[..., None]] = None,
+                 initargs: Tuple = ()) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = int(num_workers)
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = multiprocessing.dummy.Pool(
+                self.num_workers,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._pool
+
+    @property
+    def is_running(self) -> bool:
+        """True once the pool has been started and not yet shut down."""
+        return self._pool is not None
+
+    def map(self, func: Callable[[T], R], items: Sequence[T],
+            chunk_size: int = 1) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        pool = self._ensure_pool()
+        return pool.map(func, items, chunksize=max(1, int(chunk_size)))
+
+    def submit(self, func: Callable[[T], R], item: T) -> TaskHandle[R]:
+        return _AsyncResultTask(self._ensure_pool().apply_async(func, (item,)))
+
     def shutdown(self) -> None:
         if self._pool is not None:
             self._pool.terminate()
@@ -158,8 +292,8 @@ def make_executor(num_workers: int,
                   initargs: Tuple = ()) -> RolloutExecutor:
     """Build an executor for ``num_workers`` workers.
 
-    ``backend`` may be ``"serial"``, ``"process"``, or ``None`` to pick
-    automatically (serial for one worker, a process pool otherwise).
+    ``backend`` may be ``"serial"``, ``"thread"``, ``"process"``, or ``None``
+    to pick automatically (serial for one worker, a process pool otherwise).
     """
     if backend is None:
         backend = "serial" if num_workers <= 1 else "process"
@@ -169,6 +303,9 @@ def make_executor(num_workers: int,
         )
     if backend == "serial":
         return SerialExecutor(initializer=initializer, initargs=initargs)
+    if backend == "thread":
+        return ThreadExecutor(num_workers, initializer=initializer,
+                              initargs=initargs)
     return ProcessPoolExecutor(num_workers, initializer=initializer,
                                initargs=initargs)
 

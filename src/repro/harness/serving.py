@@ -10,16 +10,37 @@ hot-swap counters.  With ``record_batches=True`` the result can additionally
 prove differential exactness: every served packet is re-checked against
 linear search over the exact ruleset generation its engine was compiled
 from, across any mid-run hot swaps.
+
+Two knobs close the adaptive-serving loop on top of that:
+
+* ``retrain_threshold`` arms the retrain-on-churn path — a
+  :class:`~repro.serve.controller.RetrainController` watches every slot and
+  swaps in freshly trained NeuroCuts *trees* when accumulated updates cross
+  the threshold;
+* ``serving_workers > 1`` shards tenants across worker processes
+  (:mod:`repro.serve.sharded`) and returns a :class:`ShardedServingResult`
+  whose telemetry is merged exactly from the per-shard reports.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.serve.batcher import BatchPolicy
+from repro.serve.controller import RetrainController, RetrainPolicy
+from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD
 from repro.serve.registry import TenantRegistry
-from repro.serve.service import ClassificationService, ServingReport
+from repro.serve.service import ClassificationService, ServedBatch, \
+    ServingReport
+from repro.serve.sharded import (
+    ShardOutcome,
+    ShardPlan,
+    ShardTenant,
+    serve_sharded,
+)
+from repro.rules.ruleset import RuleSet
 from repro.workloads.scenario import (
     DEFAULT_FAMILIES,
     ChurnConfig,
@@ -28,6 +49,34 @@ from repro.workloads.scenario import (
     make_tenant_specs,
 )
 from repro.workloads.traffic import FlowTraceConfig
+
+#: Rule count past which HiCuts build cost explodes on fw-family rulesets
+#: (wildcard-heavy rules replicate into most cuts; see docs/architecture.md).
+HICUTS_FW_RULE_LIMIT = 200
+
+
+def warn_if_hicuts_on_fw(families: Sequence[str], algorithm: str,
+                         num_rules: int) -> Optional[str]:
+    """Warn when a scenario asks HiCuts to build large fw-family tenants.
+
+    HiCuts replicates wildcard-heavy rules into nearly every cut, and the
+    ``fw*`` seed families are wildcard-heavy by construction — beyond about
+    ``HICUTS_FW_RULE_LIMIT`` rules the build takes minutes and gigabytes.
+    Emits a :class:`RuntimeWarning` (and returns its message) so both the
+    CLI and programmatic callers see it before committing to the build;
+    returns ``None`` when the combination is fine.
+    """
+    fw = sorted({f for f in families if f.startswith("fw")})
+    if algorithm != "HiCuts" or not fw or num_rules <= HICUTS_FW_RULE_LIMIT:
+        return None
+    message = (
+        f"HiCuts on {'/'.join(fw)} rulesets with {num_rules} rules: "
+        f"wildcard replication makes builds beyond ~{HICUTS_FW_RULE_LIMIT} "
+        f"rules take minutes and GBs of memory; use --algorithm EffiCuts "
+        f"for fw-family tenants at this scale (see docs/architecture.md)"
+    )
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+    return message
 
 
 @dataclass
@@ -44,6 +93,43 @@ class ExactnessReport:
         return self.num_mismatches == 0
 
 
+def _tenant_rows(per_tenant: Dict[str, dict]) -> List[List[object]]:
+    """Per-tenant table rows: rules, engine epoch, cache, swaps."""
+    rows = []
+    for tenant_id, entry in per_tenant.items():
+        cache = entry["cache"]
+        rows.append([
+            tenant_id,
+            entry["rules"],
+            entry["epoch"],
+            f"{cache['hit_rate']:.1%}",
+            cache["evictions"],
+            entry["swap"]["swaps"],
+            entry["swap"]["stalls"],
+        ])
+    return rows
+
+
+def _check_batches(batches: Sequence[ServedBatch],
+                   epoch_rulesets: Dict[str, List[RuleSet]]
+                   ) -> ExactnessReport:
+    """Differentially check recorded batches against per-epoch rulesets."""
+    checked = mismatches = post_swap = 0
+    for batch in batches:
+        ruleset = epoch_rulesets[batch.tenant_id][batch.epoch]
+        if batch.epoch >= 1:
+            post_swap += len(batch.requests)
+        for request, priority in zip(batch.requests, batch.priorities):
+            expected = ruleset.classify(request.packet)
+            expected_priority = expected.priority if expected else None
+            checked += 1
+            if expected_priority != priority:
+                mismatches += 1
+    return ExactnessReport(num_checked=checked,
+                           num_mismatches=mismatches,
+                           num_post_swap=post_swap)
+
+
 @dataclass
 class ServingResult:
     """Everything ``run_serving`` produced: telemetry plus live state."""
@@ -57,19 +143,7 @@ class ServingResult:
 
     def tenant_rows(self) -> List[List[object]]:
         """Per-tenant table rows: rules, engine epoch, cache, swaps."""
-        rows = []
-        for tenant_id, entry in self.report.per_tenant.items():
-            cache = entry["cache"]
-            rows.append([
-                tenant_id,
-                entry["rules"],
-                entry["epoch"],
-                f"{cache['hit_rate']:.1%}",
-                cache["evictions"],
-                entry["swap"]["swaps"],
-                entry["swap"]["stalls"],
-            ])
-        return rows
+        return _tenant_rows(self.report.per_tenant)
 
     def verify_exactness(self) -> ExactnessReport:
         """Re-check every served packet against linear search.
@@ -84,20 +158,71 @@ class ServingResult:
             raise ValueError(
                 "verify_exactness() needs run_serving(record_batches=True)"
             )
-        checked = mismatches = post_swap = 0
-        for batch in self.report.batches:
-            ruleset = self.registry.slot(batch.tenant_id).ruleset_at(batch.epoch)
-            if batch.epoch >= 1:
-                post_swap += len(batch.requests)
-            for request, priority in zip(batch.requests, batch.priorities):
-                expected = ruleset.classify(request.packet)
-                expected_priority = expected.priority if expected else None
-                checked += 1
-                if expected_priority != priority:
-                    mismatches += 1
-        return ExactnessReport(num_checked=checked,
-                               num_mismatches=mismatches,
-                               num_post_swap=post_swap)
+        epoch_rulesets = {
+            tenant_id: [self.registry.slot(tenant_id).ruleset_at(epoch)
+                        for epoch in range(self.registry.slot(tenant_id).epoch + 1)]
+            for tenant_id in self.registry.tenants()
+        }
+        return _check_batches(self.report.batches, epoch_rulesets)
+
+
+@dataclass
+class ShardedServingResult:
+    """Outcome of a tenant-sharded ``run_serving`` (``serving_workers > 1``).
+
+    ``report`` is the merged telemetry (exact percentile merge over the
+    shards' raw latency arrays); ``outcomes`` keeps each shard's own report,
+    per-epoch ruleset history, and wall time for drill-down.
+    """
+
+    report: ServingReport
+    workload: MultiTenantWorkload
+    outcomes: List[ShardOutcome]
+    plan: ShardPlan
+
+    @property
+    def num_shards(self) -> int:
+        """Shards that actually served tenants (empty shards are skipped)."""
+        return len(self.outcomes)
+
+    def rows(self) -> List[List[object]]:
+        rows = self.report.rows()
+        rows.append(["serving shards", str(self.num_shards)])
+        return rows
+
+    def tenant_rows(self) -> List[List[object]]:
+        """Per-tenant table rows: rules, engine epoch, cache, swaps."""
+        return _tenant_rows(self.report.per_tenant)
+
+    def shard_rows(self) -> List[List[object]]:
+        """Per-shard table rows: tenants, requests served, wall seconds."""
+        return [
+            [
+                outcome.shard_index,
+                ", ".join(outcome.tenant_ids),
+                outcome.report.num_requests,
+                f"{outcome.wall_seconds:.3f}s",
+            ]
+            for outcome in self.outcomes
+        ]
+
+    def verify_exactness(self) -> ExactnessReport:
+        """Re-check every shard's served packets against linear search.
+
+        The check runs in the front-end process: each shard shipped back
+        its recorded batches *and* the per-epoch ruleset snapshots its
+        engines were compiled from, so exactness is proven across hot
+        swaps, retrain adoptions, and the process boundary.  Requires
+        ``record_batches=True``.
+        """
+        if self.report.batches is None:
+            raise ValueError(
+                "verify_exactness() needs run_serving(record_batches=True)"
+            )
+        epoch_rulesets: Dict[str, List[RuleSet]] = {}
+        for outcome in self.outcomes:
+            epoch_rulesets.update(outcome.epoch_rulesets)
+        return _check_batches(self.report.batches, epoch_rulesets)
 
 
 def run_serving(
@@ -119,8 +244,12 @@ def run_serving(
     removes_per_event: int = 2,
     background_swaps: bool = True,
     record_batches: bool = False,
+    retrain_threshold: Optional[int] = None,
+    retrain_policy: Optional[RetrainPolicy] = None,
+    serving_workers: int = 1,
+    serving_backend: str = "process",
     seed: int = 0,
-) -> ServingResult:
+):
     """Serve a generated multi-tenant workload and collect telemetry.
 
     Args mirror the workload/serving knobs: ``num_packets`` is the total
@@ -129,7 +258,19 @@ def run_serving(
     recompiles inline (useful for single-threaded determinism studies), and
     ``record_batches=True`` keeps every served batch so
     :meth:`ServingResult.verify_exactness` can prove zero misclassifications.
+
+    ``retrain_threshold`` arms the retrain-on-churn loop: every slot advises
+    a NeuroCuts retrain once that many updates accumulate, and a
+    :class:`~repro.serve.controller.RetrainController` (configured by
+    ``retrain_policy``, default :class:`RetrainPolicy()`) trains and swaps
+    in the new tree mid-run.  ``serving_workers > 1`` shards tenants across
+    that many workers on ``serving_backend`` (``"process"`` for real
+    parallelism; ``"thread"``/``"serial"`` for tests) and returns a
+    :class:`ShardedServingResult` instead of a :class:`ServingResult`.
     """
+    if serving_workers < 1:
+        raise ValueError("serving_workers must be >= 1")
+    warn_if_hicuts_on_fw(families, algorithm, num_rules)
     specs = make_tenant_specs(num_tenants, families=families,
                               num_rules=num_rules, seed=seed,
                               algorithm=algorithm, binth=binth)
@@ -143,14 +284,49 @@ def run_serving(
     workload = build_workload(specs, trace,
                               tenant_zipf_alpha=tenant_zipf_alpha,
                               churn=churn)
+    if retrain_threshold is not None and retrain_policy is None:
+        retrain_policy = RetrainPolicy(seed=seed)
+    if retrain_threshold is None:
+        retrain_policy = None
+
+    if serving_workers > 1:
+        outcomes, report, plan = serve_sharded(
+            [ShardTenant(s.tenant_id, s.algorithm, s.binth) for s in specs],
+            workload.rulesets,
+            workload.requests,
+            workload.updates,
+            num_workers=serving_workers,
+            backend=serving_backend,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            flow_cache_size=flow_cache_size,
+            background_swaps=background_swaps,
+            record_batches=record_batches,
+            retrain_threshold=retrain_threshold
+            if retrain_threshold is not None else DEFAULT_RETRAIN_THRESHOLD,
+            retrain_policy=retrain_policy,
+        )
+        return ShardedServingResult(report=report, workload=workload,
+                                    outcomes=outcomes, plan=plan)
+
     registry = TenantRegistry(default_flow_cache_size=flow_cache_size,
-                              background_swaps=background_swaps)
+                              background_swaps=background_swaps,
+                              default_retrain_threshold=retrain_threshold
+                              if retrain_threshold is not None
+                              else DEFAULT_RETRAIN_THRESHOLD)
     for spec in specs:
         registry.register(spec.tenant_id, workload.rulesets[spec.tenant_id],
                           algorithm=spec.algorithm, binth=spec.binth)
+    controller = RetrainController(registry, retrain_policy) \
+        if retrain_policy is not None else None
     service = ClassificationService(
         registry, BatchPolicy(max_batch=max_batch, max_delay=max_delay),
         record_batches=record_batches,
+        retrain_controller=controller,
     )
-    report = service.serve(workload.requests, updates=workload.updates)
+    try:
+        report = service.serve(workload.requests, updates=workload.updates)
+    finally:
+        if controller is not None:
+            controller.close()
     return ServingResult(report=report, workload=workload, registry=registry)

@@ -43,6 +43,12 @@ from repro.neurocuts.trainer import (
     NeuroCutsTrainer,
     TrainingResult,
 )
+from repro.neurocuts.service import (
+    RetrainRequest,
+    RetrainResponse,
+    default_retrain_config,
+    run_retrain,
+)
 from repro.neurocuts.updates import IncrementalUpdater, UpdateStats
 from repro.neurocuts.visualize import (
     LevelProfile,
@@ -85,6 +91,10 @@ __all__ = [
     "NeuroCutsBuilder",
     "NeuroCutsTrainer",
     "TrainingResult",
+    "RetrainRequest",
+    "RetrainResponse",
+    "default_retrain_config",
+    "run_retrain",
     "IncrementalUpdater",
     "UpdateStats",
     "LevelProfile",

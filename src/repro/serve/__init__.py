@@ -20,7 +20,13 @@ Typical use::
 """
 
 from repro.serve.batcher import BatchPolicy, MicroBatcher, Request
-from repro.serve.engines import EngineSlot, SwapStats
+from repro.serve.controller import (
+    RETRAIN_BACKENDS,
+    RetrainController,
+    RetrainPolicy,
+    RetrainStats,
+)
+from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD, EngineSlot, SwapStats
 from repro.serve.registry import TenantRegistry, UnknownTenantError
 from repro.serve.service import (
     LATENCY_PERCENTILES,
@@ -29,11 +35,27 @@ from repro.serve.service import (
     ServedBatch,
     ServingReport,
 )
+from repro.serve.sharded import (
+    SERVING_BACKENDS,
+    ShardOutcome,
+    ShardPlan,
+    ShardTask,
+    ShardTenant,
+    merge_reports,
+    serve_shard,
+    serve_sharded,
+    shard_tenants,
+)
 
 __all__ = [
     "BatchPolicy",
     "MicroBatcher",
     "Request",
+    "RETRAIN_BACKENDS",
+    "RetrainController",
+    "RetrainPolicy",
+    "RetrainStats",
+    "DEFAULT_RETRAIN_THRESHOLD",
     "EngineSlot",
     "SwapStats",
     "TenantRegistry",
@@ -43,4 +65,13 @@ __all__ = [
     "RuleUpdate",
     "ServedBatch",
     "ServingReport",
+    "SERVING_BACKENDS",
+    "ShardOutcome",
+    "ShardPlan",
+    "ShardTask",
+    "ShardTenant",
+    "merge_reports",
+    "serve_shard",
+    "serve_sharded",
+    "shard_tenants",
 ]

@@ -55,7 +55,17 @@ class BatchPolicy:
 
 
 class MicroBatcher:
-    """Coalesces per-packet requests into per-tenant batches."""
+    """Coalesces per-packet requests into per-tenant batches.
+
+    Not thread-safe by design: the batcher belongs to the single serving
+    thread (see :class:`~repro.serve.service.ClassificationService`), and
+    all timing is *trace* time carried on the requests themselves — never
+    the wall clock — so a given request stream always forms the same
+    batches, on any machine, at any execution speed.  ``offer``/``poll``
+    release batches on the live path; ``flush``/``flush_all`` are the
+    quiesce operations (pre-update barrier, end of trace) that release
+    queues regardless of size or deadline.
+    """
 
     def __init__(self, policy: BatchPolicy = BatchPolicy()) -> None:
         self.policy = policy

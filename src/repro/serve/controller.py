@@ -1,0 +1,266 @@
+"""The retrain-on-churn control loop: watch slots, retrain, swap the tree.
+
+PR 1–3 left a gap between the serving layer and the trainer: an
+:class:`~repro.serve.engines.EngineSlot` whose ``needs_retraining()`` fires
+had no one listening.  The :class:`RetrainController` closes that loop.  It
+watches every slot's accumulated-update counters, and when a tenant's drift
+crosses its retrain threshold it launches a background NeuroCuts training
+job (a :func:`repro.neurocuts.service.run_retrain` task on a
+``repro.executors`` backend), then installs the resulting *tree* — not just
+recompiled arrays — through the slot's double-buffered
+:meth:`~repro.serve.engines.EngineSlot.adopt_classifier` path.  Rule churn
+that lands while the retrain is running is replayed onto the new tree at
+installation, so the per-epoch exactness guarantees hold across the whole
+retrain → adopt → swap sequence.
+
+**Thread-safety.**  The controller itself runs on the serving thread —
+``poll_tenant``/``poll``/``drain`` are called between batches, exactly like
+slot methods.  Only the *training job* runs elsewhere (a thread-pool or
+process-pool task, per :class:`RetrainPolicy.backend`); completions are
+detected by polling the task handle, and installation always happens on the
+serving thread.  With ``backend="serial"`` the retrain runs inline at
+trigger time, which keeps single-threaded runs deterministic.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.executors import EXECUTOR_BACKENDS, RolloutExecutor, TaskHandle, \
+    make_executor
+from repro.neurocuts.config import NeuroCutsConfig
+from repro.neurocuts.service import (
+    RetrainRequest,
+    RetrainResponse,
+    default_retrain_config,
+    run_retrain,
+)
+from repro.rules.ruleset import RuleSet
+from repro.serve.registry import TenantRegistry, UnknownTenantError
+
+#: Executor backends a controller may run retrain jobs on (one source of
+#: truth: whatever :func:`repro.executors.make_executor` accepts).
+RETRAIN_BACKENDS = EXECUTOR_BACKENDS
+
+
+@dataclass(frozen=True)
+class RetrainPolicy:
+    """How (and how hard) to retrain when a slot's drift crosses threshold.
+
+    Attributes:
+        timesteps: NeuroCuts timestep budget per retrain job.  Serving-loop
+            retrains favour turnaround over ultimate tree quality; see
+            :func:`repro.neurocuts.service.default_retrain_config`.
+        max_iterations: optional PPO-iteration cap per job (tests use this
+            to bound wall time independently of the timestep budget).
+        rollout_workers: rollout shards inside each training job (>1 spawns
+            the trainer's own ``repro.executors`` process pool).
+        backend: where the retrain job itself runs — ``"thread"`` (default:
+            overlaps serving in-process, no pickling), ``"process"`` (a
+            spawn pool; request/response are picklable by construction), or
+            ``"serial"`` (inline at trigger time, deterministic).
+        time_space_coeff: the paper's time/space coefficient for the
+            retrained tree's objective.
+        seed: base RNG seed; each launched job derives its own seed from
+            this plus the per-tenant launch counter, so successive retrains
+            explore different rollouts.
+    """
+
+    timesteps: int = 3_000
+    max_iterations: Optional[int] = None
+    rollout_workers: int = 1
+    backend: str = "thread"
+    time_space_coeff: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        if self.rollout_workers < 1:
+            raise ValueError("rollout_workers must be >= 1")
+        if self.backend not in RETRAIN_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {RETRAIN_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+
+    def training_config(self, seed: int) -> NeuroCutsConfig:
+        """The NeuroCuts configuration one retrain job runs with."""
+        return default_retrain_config(
+            timesteps=self.timesteps,
+            rollout_workers=self.rollout_workers,
+            seed=seed,
+            time_space_coeff=self.time_space_coeff,
+            reward_scaling="log" if self.time_space_coeff < 1.0 else "linear",
+        )
+
+
+@dataclass
+class RetrainStats:
+    """Counters describing the controller's activity."""
+
+    #: Retrain jobs launched (a tenant crossed its threshold).
+    triggered: int = 0
+    #: Retrained trees installed through ``adopt_classifier``.
+    installed: int = 0
+    #: Finished jobs thrown away (tenant deregistered while training).
+    discarded: int = 0
+    #: Wall seconds each *installed* job spent training, in install order.
+    train_seconds: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "triggered": self.triggered,
+            "installed": self.installed,
+            "discarded": self.discarded,
+            "mean_train_seconds": (
+                sum(self.train_seconds) / len(self.train_seconds)
+                if self.train_seconds else 0.0
+            ),
+        }
+
+
+@dataclass
+class _RetrainJob:
+    """One in-flight retrain: the handle plus the snapshot it trains on."""
+
+    tenant_id: str
+    base_ruleset: RuleSet
+    handle: TaskHandle[RetrainResponse]
+
+
+class RetrainController:
+    """Watches a registry's slots and closes the retrain-on-churn loop.
+
+    Args:
+        registry: the registry whose tenants are watched.
+        policy: training budget, backend, and objective knobs.
+        executor: optional pre-built executor to run jobs on (the controller
+            then never shuts it down).  By default the controller owns one
+            sized for a single concurrent job per poll cycle, built by
+            :func:`repro.executors.make_executor` from ``policy.backend``.
+
+    Call :meth:`poll_tenant` from the serving loop (cheap: a dict probe and
+    a counter comparison), :meth:`drain` at quiesce points to land every
+    in-flight job, and :meth:`close` when done.
+    """
+
+    def __init__(self, registry: TenantRegistry,
+                 policy: RetrainPolicy = RetrainPolicy(),
+                 executor: Optional[RolloutExecutor] = None) -> None:
+        self.registry = registry
+        self.policy = policy
+        self.stats = RetrainStats()
+        if executor is None:
+            # One worker per concurrently-retraining tenant is overkill on
+            # small machines; a single background worker serialises jobs
+            # while keeping them off the serving thread.
+            executor = make_executor(1, backend=policy.backend)
+            self._owns_executor = True
+        else:
+            self._owns_executor = False
+        self._executor = executor
+        self._jobs: Dict[str, _RetrainJob] = {}
+        self._launch_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # The control loop
+    # ------------------------------------------------------------------ #
+
+    @property
+    def in_flight(self) -> List[str]:
+        """Tenants with a retrain currently running (or awaiting install)."""
+        return list(self._jobs)
+
+    def poll_tenant(self, tenant_id: str) -> bool:
+        """Advance one tenant's retrain state machine; True if a tree landed.
+
+        Installs the tenant's retrained tree if its job finished, otherwise
+        launches a job if the slot crossed its threshold and none is in
+        flight.  Non-blocking except on the serial backend (where launching
+        *is* the retrain).
+        """
+        job = self._jobs.get(tenant_id)
+        if job is not None:
+            if not job.handle.ready():
+                return False
+            del self._jobs[tenant_id]
+            return self._install(job)
+        slot = self.registry.slot(tenant_id)
+        if slot.needs_retraining():
+            self._launch(tenant_id)
+            # Serial jobs complete inside _launch; land them immediately so
+            # the very next batch serves from the retrained tree.
+            job = self._jobs[tenant_id]
+            if job.handle.ready():
+                del self._jobs[tenant_id]
+                return self._install(job)
+        return False
+
+    def poll(self) -> List[str]:
+        """Poll every registered tenant; returns those that got a new tree."""
+        return [tenant_id for tenant_id in self.registry.tenants()
+                if self.poll_tenant(tenant_id)]
+
+    def drain(self) -> List[str]:
+        """Block until every in-flight retrain finishes and installs.
+
+        A quiesce point (end of trace, shutdown) — the registry's own
+        ``drain()`` should follow so the adopted trees' engine rebuilds are
+        installed too.  Returns the tenants whose trees were installed.
+        """
+        landed = []
+        for tenant_id, job in list(self._jobs.items()):
+            del self._jobs[tenant_id]
+            if self._install(job):
+                landed.append(tenant_id)
+        return landed
+
+    def close(self) -> None:
+        """Shut down the controller-owned executor (idempotent)."""
+        if self._owns_executor:
+            self._executor.shutdown()
+
+    def __enter__(self) -> "RetrainController":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _launch(self, tenant_id: str) -> None:
+        slot = self.registry.slot(tenant_id)
+        count = self._launch_counts.get(tenant_id, 0)
+        self._launch_counts[tenant_id] = count + 1
+        base = slot.ruleset
+        request = RetrainRequest(
+            tenant_id=tenant_id,
+            ruleset=base,
+            config=self.policy.training_config(
+                seed=self.policy.seed + 9973 * count
+                + (zlib.crc32(tenant_id.encode()) & 0xFFFF)
+            ),
+            max_iterations=self.policy.max_iterations,
+        )
+        handle = self._executor.submit(run_retrain, request)
+        self._jobs[tenant_id] = _RetrainJob(tenant_id=tenant_id,
+                                            base_ruleset=base, handle=handle)
+        self.stats.triggered += 1
+
+    def _install(self, job: _RetrainJob) -> bool:
+        response = job.handle.result()
+        try:
+            slot = self.registry.slot(job.tenant_id)
+        except UnknownTenantError:
+            self.stats.discarded += 1
+            return False
+        classifier = response.classifier(job.base_ruleset)
+        slot.adopt_classifier(classifier, base_ruleset=job.base_ruleset)
+        self.stats.installed += 1
+        self.stats.train_seconds.append(response.wall_seconds)
+        return True

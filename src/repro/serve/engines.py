@@ -27,6 +27,12 @@ from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
 from repro.tree.lookup import TreeClassifier
 
+#: Default number of accumulated rule updates before a slot advises a
+#: retrain.  Effectively "never" — retraining is opt-in; pass a real
+#: threshold to :class:`EngineSlot` (or ``TenantRegistry.register``) and pair
+#: it with a :class:`~repro.serve.controller.RetrainController` to act on it.
+DEFAULT_RETRAIN_THRESHOLD = 10 ** 9
+
 
 @dataclass
 class SwapStats:
@@ -63,11 +69,28 @@ class EngineSlot:
     kicks off a rebuild (a daemon thread when ``background=True``, inline
     otherwise).  :meth:`engine` is the per-batch accessor: it installs a
     finished shadow engine — the atomic swap — and returns the current one.
+    :meth:`adopt_classifier` swaps the decision *trees* themselves (a
+    retrained tree, not just recompiled arrays) through the same
+    double-buffered path.
 
     Epochs number the engine generations: epoch 0 is the engine compiled at
     registration, and every swap increments it.  ``ruleset_at(epoch)``
     returns the exact ruleset an epoch's engine was compiled from, which is
     what lets benchmarks assert differential exactness *across* a hot swap.
+
+    **Thread-safety.**  A slot assumes *one* serving thread: every public
+    method must be called from that thread.  The only concurrency is the
+    slot's own builder thread, which exclusively *reads* the trees while
+    compiling the shadow engine — the serving thread never mutates them with
+    a build in flight because every mutating method joins the builder first.
+    Do not call slot methods from multiple threads.
+
+    **Stall vs quiesce.**  Waiting on the builder is counted as a *stall*
+    (``SwapStats.stalls``) only when it delays the live update path — i.e. a
+    second ``apply_update`` arrives while the previous rebuild is still in
+    flight and must join it to keep epochs strictly ordered.  Waits at
+    *quiesce points* — :meth:`force_swap` at end of trace, deregistration,
+    or a retrain adoption — are not serving stalls and are not counted.
     """
 
     def __init__(
@@ -76,12 +99,13 @@ class EngineSlot:
         classifier: TreeClassifier,
         flow_cache_size: Optional[int] = DEFAULT_FLOW_CACHE_SIZE,
         background: bool = True,
-        retrain_threshold: int = 10 ** 9,
+        retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD,
     ) -> None:
         self.tenant_id = tenant_id
         self.classifier = classifier
         self.flow_cache_size = flow_cache_size
         self.background = background
+        self.retrain_threshold = retrain_threshold
         self.swap_stats = SwapStats()
         #: Flow-cache counters of engines already retired by swaps.
         self.retired_cache_stats = FlowCacheStats()
@@ -122,8 +146,24 @@ class EngineSlot:
         return self._builder is not None
 
     def needs_retraining(self) -> bool:
-        """True once accumulated updates advise retraining (Section 4.2)."""
+        """True once accumulated updates advise retraining (Section 4.2).
+
+        Fires when any tree's accumulated add/remove count reaches
+        ``retrain_threshold``.  The slot only *advises*; acting on it — a
+        background NeuroCuts run followed by :meth:`adopt_classifier` —
+        is the :class:`~repro.serve.controller.RetrainController`'s job.
+        """
         return any(u.needs_retraining() for u in self._updaters)
+
+    @property
+    def updates_since_adoption(self) -> int:
+        """Rule updates accumulated since the current trees were installed.
+
+        Counted per tree and summed (an update touching several trees counts
+        once per tree, matching how incremental patches degrade each tree).
+        Resets when :meth:`adopt_classifier` installs retrained trees.
+        """
+        return sum(u.stats.total_updates for u in self._updaters)
 
     def cache_stats(self) -> FlowCacheStats:
         """Cumulative flow-cache counters across every engine generation."""
@@ -178,6 +218,57 @@ class EngineSlot:
             ruleset = ruleset.with_rules_added(adds)
         self.classifier.ruleset = ruleset
         self._start_build(ruleset)
+
+    def adopt_classifier(self, classifier: TreeClassifier,
+                         base_ruleset: Optional[RuleSet] = None) -> None:
+        """Swap in a replacement for the decision *trees* themselves.
+
+        This is the install half of the retrain-on-churn loop: a background
+        NeuroCuts run produced a fresh tree for ``base_ruleset`` (the
+        snapshot of this slot's ruleset when the retrain launched), and the
+        slot now replaces its trees wholesale — the same double-buffered
+        path as :meth:`apply_update`, so the old engine keeps serving until
+        the new tree's compiled engine is ready.
+
+        Rule updates that landed *while* the retrain ran are not lost:
+        passing ``base_ruleset`` replays the delta between it and the
+        current ruleset onto the new trees (via the same incremental-update
+        machinery) before compiling, so the adopted epoch's snapshot equals
+        the latest ruleset and per-epoch differential exactness holds
+        across the adoption.  With ``base_ruleset=None`` the classifier is
+        assumed to already match the current ruleset.
+
+        Update counters restart from the replayed delta (normally zero):
+        the retrain absorbed every update up to ``base_ruleset``, while
+        churn that raced it remains incremental patchwork on the new trees
+        and keeps counting toward the next retrain.
+
+        Joining a still-running rebuild here is a quiesce, not a stall —
+        the adoption supersedes whatever that rebuild would have installed.
+        """
+        self._join_builder(count_stall=False)
+        current = self.ruleset
+        updaters = [
+            IncrementalUpdater(tree, retrain_threshold=self.retrain_threshold)
+            for tree in classifier.trees
+        ]
+        if base_ruleset is not None:
+            # Rule is a hashable frozen dataclass, so the delta is two O(n)
+            # set probes rather than quadratic list scans on the serving
+            # thread; iteration order stays that of the rule lists.
+            base_set = set(base_ruleset.rules)
+            current_set = set(current.rules)
+            for rule in base_ruleset.rules:
+                if rule not in current_set:
+                    for updater in updaters:
+                        updater.remove_rule(rule)
+            for rule in current.rules:
+                if rule not in base_set:
+                    updaters[0].add_rule(rule)
+        classifier.ruleset = current
+        self.classifier = classifier
+        self._updaters = updaters
+        self._start_build(current)
 
     def force_swap(self) -> None:
         """Block until any pending rebuild has been built and installed.

@@ -16,7 +16,7 @@ from repro.baselines import default_baselines
 from repro.engine.cache import DEFAULT_FLOW_CACHE_SIZE
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
-from repro.serve.engines import EngineSlot
+from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD, EngineSlot
 from repro.tree.lookup import TreeClassifier
 
 
@@ -25,15 +25,25 @@ class UnknownTenantError(KeyError):
 
 
 class TenantRegistry:
-    """Registers tenants and owns their engine slots."""
+    """Registers tenants and owns their engine slots.
+
+    **Thread-safety.**  Like the slots it owns, the registry expects a
+    single serving thread: registration, updates, and telemetry reads all
+    happen from that thread, while each slot's background builder thread
+    only ever reads tree state.  Sharding tenants across *processes* (see
+    :mod:`repro.serve.sharded`) gives each worker its own registry, so no
+    cross-process synchronisation exists or is needed.
+    """
 
     def __init__(
         self,
         default_flow_cache_size: Optional[int] = DEFAULT_FLOW_CACHE_SIZE,
         background_swaps: bool = True,
+        default_retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD,
     ) -> None:
         self.default_flow_cache_size = default_flow_cache_size
         self.background_swaps = background_swaps
+        self.default_retrain_threshold = default_retrain_threshold
         self._slots: "OrderedDict[str, EngineSlot]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
@@ -65,12 +75,15 @@ class TenantRegistry:
         algorithm: str = "HiCuts",
         binth: int = 8,
         flow_cache_size: Optional[int] = None,
+        retrain_threshold: Optional[int] = None,
     ) -> EngineSlot:
         """Register a tenant and compile its serving engine.
 
         Either pass a prebuilt ``classifier`` (e.g. a trained NeuroCuts
         tree) or a ``ruleset`` plus the name of a baseline ``algorithm`` to
-        build one with.  Returns the tenant's engine slot.
+        build one with.  ``retrain_threshold`` overrides the registry-wide
+        default for when the slot's ``needs_retraining()`` starts advising a
+        retrain.  Returns the tenant's engine slot.
         """
         if tenant_id in self._slots:
             raise ValueError(f"tenant {tenant_id!r} is already registered")
@@ -87,11 +100,14 @@ class TenantRegistry:
             classifier = builder.build(ruleset)
         if flow_cache_size is None:
             flow_cache_size = self.default_flow_cache_size
+        if retrain_threshold is None:
+            retrain_threshold = self.default_retrain_threshold
         slot = EngineSlot(
             tenant_id,
             classifier,
             flow_cache_size=flow_cache_size,
             background=self.background_swaps,
+            retrain_threshold=retrain_threshold,
         )
         self._slots[tenant_id] = slot
         return slot
@@ -129,13 +145,18 @@ class TenantRegistry:
     # ------------------------------------------------------------------ #
 
     def telemetry(self) -> Dict[str, dict]:
-        """Per-tenant cache and swap counters, keyed by tenant id."""
+        """Per-tenant cache, swap, and retrain counters, keyed by tenant id."""
         return {
             tenant_id: {
                 "rules": len(slot.ruleset),
                 "epoch": slot.epoch,
                 "cache": slot.cache_stats().as_dict(),
                 "swap": slot.swap_stats.as_dict(),
+                "retrain": {
+                    "accumulated_updates": slot.updates_since_adoption,
+                    "threshold": slot.retrain_threshold,
+                    "needs_retraining": slot.needs_retraining(),
+                },
             }
             for tenant_id, slot in self._slots.items()
         }

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, \
+    Tuple
 
 import numpy as np
 
@@ -25,6 +26,9 @@ from repro.engine.layout import packets_to_array
 from repro.rules.rule import Rule
 from repro.serve.batcher import BatchPolicy, MicroBatcher, Request
 from repro.serve.registry import TenantRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.controller import RetrainController
 
 #: Percentiles reported by default (p50 / p90 / p99).
 LATENCY_PERCENTILES: Tuple[float, ...] = (50.0, 90.0, 99.0)
@@ -85,6 +89,13 @@ class ServingReport:
     swap_stall_seconds: float
     per_tenant: Dict[str, dict]
     batches: Optional[List[ServedBatch]] = None
+    #: Per-request latencies in serve order (``record_latencies=True``);
+    #: what lets a sharding front-end merge exact percentiles across workers.
+    latencies: Optional[np.ndarray] = None
+    #: Retrain-loop counters (zero unless a RetrainController was attached).
+    retrains_triggered: int = 0
+    retrains_installed: int = 0
+    retrains_discarded: int = 0
 
     @property
     def pps(self) -> float:
@@ -119,21 +130,54 @@ class ServingReport:
             ["swap stalls", f"{self.swap_stalls:,} "
                             f"({self.swap_stall_seconds * 1e3:.1f} ms)"],
         ])
+        if self.retrains_triggered:
+            rows.append([
+                "retrains",
+                f"{self.retrains_triggered:,} triggered, "
+                f"{self.retrains_installed:,} installed, "
+                f"{self.retrains_discarded:,} discarded",
+            ])
         return rows
 
 
 class ClassificationService:
-    """Serves classification requests for every registered tenant."""
+    """Serves classification requests for every registered tenant.
+
+    The service is the single *serving thread* the rest of the layer
+    assumes: it owns the batcher, calls every slot method, and hosts the
+    retrain controller's polling.  Background concurrency (engine builder
+    threads, retrain jobs) never touches serving state — finished work is
+    *installed* from this thread between batches.  One service instance must
+    not be driven from multiple threads; to use more CPUs, shard tenants
+    across processes with :mod:`repro.serve.sharded` instead.
+
+    Args:
+        registry: tenants to serve (slots are consulted per batch, so
+            registrations/updates mid-run are honoured).
+        policy: micro-batching knobs.
+        record_batches: keep every served batch (with its engine epoch) for
+            differential exactness checks.
+        record_latencies: additionally report the raw per-request latency
+            array, enabling exact percentile merges across sharded workers.
+        retrain_controller: a :class:`~repro.serve.controller.RetrainController`
+            watching this registry.  The service polls it after every rule
+            update and before every batch (so finished retrains install
+            promptly), and drains it with the registry at end of trace.
+    """
 
     def __init__(
         self,
         registry: TenantRegistry,
         policy: BatchPolicy = BatchPolicy(),
         record_batches: bool = False,
+        record_latencies: bool = False,
+        retrain_controller: Optional["RetrainController"] = None,
     ) -> None:
         self.registry = registry
         self.policy = policy
         self.record_batches = record_batches
+        self.record_latencies = record_latencies
+        self.retrain_controller = retrain_controller
 
     # ------------------------------------------------------------------ #
     # Serving loop
@@ -173,6 +217,11 @@ class ClassificationService:
             flush_time = max(batch[-1].time,
                              min(flush_time,
                                  batch[0].time + self.policy.max_delay))
+            if self.retrain_controller is not None:
+                # Land a finished background retrain before picking the
+                # engine, so the new tree starts serving at the earliest
+                # batch boundary after training completes.
+                self.retrain_controller.poll_tenant(tenant_id)
             slot = self.registry.slot(tenant_id)
             engine = slot.engine()  # installs a finished swap, if any
             epoch = slot.epoch
@@ -218,6 +267,10 @@ class ClassificationService:
                 self.registry.apply_update(
                     update.tenant_id, adds=update.adds, removes=update.removes
                 )
+                if self.retrain_controller is not None:
+                    # The update may have pushed the slot past its retrain
+                    # threshold; trigger the background job right away.
+                    self.retrain_controller.poll_tenant(update.tenant_id)
             for tenant_id, batch in batcher.offer(request):
                 execute(tenant_id, batch, request.time)
         # Updates scheduled after the last arrival still apply (rule churn
@@ -229,8 +282,14 @@ class ClassificationService:
             self.registry.apply_update(
                 update.tenant_id, adds=update.adds, removes=update.removes
             )
+            if self.retrain_controller is not None:
+                self.retrain_controller.poll_tenant(update.tenant_id)
         for tenant_id, batch in batcher.flush_all():
             execute(tenant_id, batch, last_time)
+        if self.retrain_controller is not None:
+            # Quiesce: land every in-flight retrain before the registry
+            # drain installs the resulting engine rebuilds.
+            self.retrain_controller.drain()
         self.registry.drain()
         wall_seconds = time.perf_counter() - wall_start
 
@@ -250,6 +309,8 @@ class ClassificationService:
             pct: float(np.percentile(latencies, pct)) if latencies else 0.0
             for pct in LATENCY_PERCENTILES
         }
+        retrain_stats = self.retrain_controller.stats \
+            if self.retrain_controller is not None else None
         return ServingReport(
             num_requests=num_served,
             num_batches=num_batches,
@@ -268,4 +329,9 @@ class ClassificationService:
             swap_stall_seconds=stall_seconds,
             per_tenant=per_tenant,
             batches=recorded if self.record_batches else None,
+            latencies=np.asarray(latencies, dtype=float)
+            if self.record_latencies else None,
+            retrains_triggered=retrain_stats.triggered if retrain_stats else 0,
+            retrains_installed=retrain_stats.installed if retrain_stats else 0,
+            retrains_discarded=retrain_stats.discarded if retrain_stats else 0,
         )

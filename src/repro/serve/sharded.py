@@ -1,0 +1,311 @@
+"""Multi-process serving: tenants sharded across workers, telemetry merged.
+
+One :class:`~repro.serve.service.ClassificationService` is single-threaded
+by design; to use more cores the layer scales *out*, the classic
+shard-the-workload move: tenants are partitioned across N serving workers
+(each worker a full serving stack — registry, engine slots, micro-batcher,
+optional retrain controller — over just its tenants), the request stream is
+routed by tenant to the owning shard, and a front-end merges the shards'
+telemetry into one report.
+
+Because tenants never share state, sharding is *exact by construction*:
+each request is served by the same engine generation it would have seen in
+a single-process run, and every per-epoch exactness guarantee carries over
+shard-locally.  The merge is exact too — workers return raw latency arrays
+(not pre-computed percentiles), so the merged percentiles equal those of a
+single process serving the union.
+
+The shard task (:func:`serve_shard`) is a module-level pure function of a
+picklable payload, so it runs unchanged on every
+:class:`repro.executors.RolloutExecutor` backend: ``"process"`` for real
+multi-core serving, ``"thread"``/``"serial"`` for deterministic tests on
+small machines.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.executors import EXECUTOR_BACKENDS, make_executor
+from repro.rules.ruleset import RuleSet
+from repro.serve.batcher import BatchPolicy, Request
+from repro.serve.controller import RetrainController, RetrainPolicy
+from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD
+from repro.serve.registry import TenantRegistry
+from repro.serve.service import (
+    LATENCY_PERCENTILES,
+    ClassificationService,
+    RuleUpdate,
+    ServingReport,
+)
+
+#: Executor backends serving shards may run on (one source of truth:
+#: whatever :func:`repro.executors.make_executor` accepts).
+SERVING_BACKENDS = EXECUTOR_BACKENDS
+
+
+@dataclass(frozen=True)
+class ShardTenant:
+    """One tenant as a shard worker sees it: id plus engine-build knobs."""
+
+    tenant_id: str
+    algorithm: str = "HiCuts"
+    binth: int = 8
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic assignment of tenants to serving shards.
+
+    Round-robin in registration order, so the plan is a pure function of
+    (tenant order, shard count) — the same workload always shards the same
+    way, which keeps sharded runs reproducible and lets tests compare
+    against a single-process run of the identical scenario.
+    """
+
+    num_shards: int
+    assignments: Tuple[Tuple[str, ...], ...]
+
+    def shard_of(self, tenant_id: str) -> int:
+        """The shard index serving the given tenant."""
+        for index, tenants in enumerate(self.assignments):
+            if tenant_id in tenants:
+                return index
+        raise KeyError(f"tenant {tenant_id!r} is not in this plan")
+
+
+def shard_tenants(tenant_ids: Sequence[str], num_shards: int) -> ShardPlan:
+    """Partition tenants round-robin across ``num_shards`` workers.
+
+    Shards can end up empty when there are more shards than tenants; such
+    shards are skipped at dispatch (no worker is launched for them).
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    buckets: List[List[str]] = [[] for _ in range(num_shards)]
+    for i, tenant_id in enumerate(tenant_ids):
+        buckets[i % num_shards].append(tenant_id)
+    return ShardPlan(num_shards=num_shards,
+                     assignments=tuple(tuple(b) for b in buckets))
+
+
+@dataclass
+class ShardTask:
+    """The picklable payload one serving worker executes.
+
+    Carries everything a worker needs to rebuild its slice of the serving
+    stack from scratch: tenant specs and rulesets (engines are compiled
+    inside the worker — compiled arrays never cross the process boundary),
+    the tenant-filtered request stream and update schedule, and the serving
+    and retrain knobs.
+    """
+
+    shard_index: int
+    tenants: List[ShardTenant]
+    rulesets: Dict[str, RuleSet]
+    requests: List[Request]
+    updates: List[RuleUpdate] = field(default_factory=list)
+    max_batch: int = 64
+    max_delay: float = 1e-3
+    flow_cache_size: Optional[int] = 2048
+    background_swaps: bool = True
+    record_batches: bool = False
+    retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD
+    retrain_policy: Optional[RetrainPolicy] = None
+
+
+@dataclass
+class ShardOutcome:
+    """What one serving worker sends back to the front-end.
+
+    ``report.latencies`` is always populated (shards record latencies so the
+    front-end can merge exact percentiles), and ``epoch_rulesets`` carries
+    each tenant's full per-epoch ruleset history so differential exactness
+    can be verified *in the front-end process* against recorded batches.
+    """
+
+    shard_index: int
+    tenant_ids: List[str]
+    report: ServingReport
+    #: Per tenant: the ruleset snapshot of every engine epoch, in order.
+    epoch_rulesets: Dict[str, List[RuleSet]]
+    #: Wall seconds this shard spent inside its serve() call.
+    wall_seconds: float = 0.0
+
+
+def serve_shard(task: ShardTask) -> ShardOutcome:
+    """Serve one shard's tenants (the executor-facing task function)."""
+    registry = TenantRegistry(
+        default_flow_cache_size=task.flow_cache_size,
+        background_swaps=task.background_swaps,
+        default_retrain_threshold=task.retrain_threshold,
+    )
+    for tenant in task.tenants:
+        registry.register(tenant.tenant_id, task.rulesets[tenant.tenant_id],
+                          algorithm=tenant.algorithm, binth=tenant.binth)
+    retrain_policy = task.retrain_policy
+    if retrain_policy is not None and retrain_policy.backend == "process" \
+            and multiprocessing.current_process().daemon:
+        # Pool workers are daemonic and cannot spawn child processes, so a
+        # process-backend retrain inside a process-backend shard would die
+        # at the first trigger; threads share the worker's core anyway.
+        warnings.warn(
+            "process-backend retrains cannot run inside a (daemonic) "
+            "serving shard worker; falling back to the thread backend",
+            RuntimeWarning,
+        )
+        retrain_policy = replace(retrain_policy, backend="thread")
+    controller = RetrainController(registry, retrain_policy) \
+        if retrain_policy is not None else None
+    service = ClassificationService(
+        registry,
+        BatchPolicy(max_batch=task.max_batch, max_delay=task.max_delay),
+        record_batches=task.record_batches,
+        record_latencies=True,
+        retrain_controller=controller,
+    )
+    started = time.perf_counter()
+    try:
+        report = service.serve(task.requests, updates=task.updates)
+    finally:
+        if controller is not None:
+            controller.close()
+    wall = time.perf_counter() - started
+    epoch_rulesets = {}
+    for tenant in task.tenants:
+        slot = registry.slot(tenant.tenant_id)
+        epoch_rulesets[tenant.tenant_id] = [
+            slot.ruleset_at(epoch) for epoch in range(slot.epoch + 1)
+        ]
+    return ShardOutcome(
+        shard_index=task.shard_index,
+        tenant_ids=[t.tenant_id for t in task.tenants],
+        report=report,
+        epoch_rulesets=epoch_rulesets,
+        wall_seconds=wall,
+    )
+
+
+def merge_reports(outcomes: Sequence[ShardOutcome],
+                  wall_seconds: float) -> ServingReport:
+    """Fold shard reports into one, as if a single process served the union.
+
+    Counters sum; latency percentiles are recomputed over the concatenated
+    raw latency arrays (exact, not an approximation over per-shard
+    percentiles); ``wall_seconds`` is the front-end's end-to-end wall time
+    (shards overlap, so summing their walls would be wrong) and is what the
+    merged ``pps`` is measured against.  ``engine_seconds`` sums CPU-style
+    across shards and can therefore exceed the wall on multi-core runs.
+    """
+    reports = [o.report for o in outcomes]
+    latencies = np.concatenate([
+        r.latencies for r in reports
+        if r.latencies is not None and len(r.latencies)
+    ]) if any(r.latencies is not None and len(r.latencies) for r in reports) \
+        else np.zeros(0)
+    percentiles = {
+        pct: float(np.percentile(latencies, pct)) if len(latencies) else 0.0
+        for pct in LATENCY_PERCENTILES
+    }
+    per_tenant: Dict[str, dict] = {}
+    for report in reports:
+        per_tenant.update(report.per_tenant)
+    num_requests = sum(r.num_requests for r in reports)
+    num_batches = sum(r.num_batches for r in reports)
+    batches = None
+    if any(r.batches is not None for r in reports):
+        batches = [b for r in reports if r.batches is not None
+                   for b in r.batches]
+    return ServingReport(
+        num_requests=num_requests,
+        num_batches=num_batches,
+        num_updates=sum(r.num_updates for r in reports),
+        wall_seconds=wall_seconds,
+        engine_seconds=sum(r.engine_seconds for r in reports),
+        trace_seconds=max((r.trace_seconds for r in reports), default=0.0),
+        latency_percentiles=percentiles,
+        mean_batch_size=num_requests / num_batches if num_batches else 0.0,
+        cache_hits=sum(r.cache_hits for r in reports),
+        cache_lookups=sum(r.cache_lookups for r in reports),
+        cache_evictions=sum(r.cache_evictions for r in reports),
+        cache_invalidations=sum(r.cache_invalidations for r in reports),
+        swaps=sum(r.swaps for r in reports),
+        swap_stalls=sum(r.swap_stalls for r in reports),
+        swap_stall_seconds=sum(r.swap_stall_seconds for r in reports),
+        per_tenant=per_tenant,
+        batches=batches,
+        latencies=latencies,
+        retrains_triggered=sum(r.retrains_triggered for r in reports),
+        retrains_installed=sum(r.retrains_installed for r in reports),
+        retrains_discarded=sum(r.retrains_discarded for r in reports),
+    )
+
+
+def serve_sharded(
+    tenants: Sequence[ShardTenant],
+    rulesets: Dict[str, RuleSet],
+    requests: Sequence[Request],
+    updates: Sequence[RuleUpdate] = (),
+    num_workers: int = 2,
+    backend: str = "process",
+    max_batch: int = 64,
+    max_delay: float = 1e-3,
+    flow_cache_size: Optional[int] = 2048,
+    background_swaps: bool = True,
+    record_batches: bool = False,
+    retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD,
+    retrain_policy: Optional[RetrainPolicy] = None,
+) -> Tuple[List[ShardOutcome], ServingReport, ShardPlan]:
+    """Serve a multi-tenant workload sharded across ``num_workers`` workers.
+
+    The front-end half of the sharded path: plans the tenant partition,
+    routes requests and updates to the owning shard, dispatches one
+    :class:`ShardTask` per non-empty shard on a ``repro.executors`` backend,
+    and merges the outcomes.  Returns ``(outcomes, merged_report, plan)``.
+
+    With ``backend="process"``, per-tenant retrains inside each worker run
+    on ``"thread"``-backend controllers regardless of
+    ``retrain_policy.backend`` — pool workers are daemonic and cannot spawn
+    nested process pools (``serve_shard`` downgrades with a
+    ``RuntimeWarning``).
+    """
+    if backend not in SERVING_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {SERVING_BACKENDS}, got {backend!r}"
+        )
+    plan = shard_tenants([t.tenant_id for t in tenants], num_workers)
+    by_tenant = {t.tenant_id: t for t in tenants}
+    tasks: List[ShardTask] = []
+    for index, assigned in enumerate(plan.assignments):
+        if not assigned:
+            continue
+        assigned_set = set(assigned)
+        tasks.append(ShardTask(
+            shard_index=index,
+            tenants=[by_tenant[tid] for tid in assigned],
+            rulesets={tid: rulesets[tid] for tid in assigned},
+            requests=[r for r in requests if r.tenant_id in assigned_set],
+            updates=[u for u in updates if u.tenant_id in assigned_set],
+            max_batch=max_batch,
+            max_delay=max_delay,
+            flow_cache_size=flow_cache_size,
+            background_swaps=background_swaps,
+            record_batches=record_batches,
+            retrain_threshold=retrain_threshold,
+            retrain_policy=retrain_policy,
+        ))
+    executor = make_executor(max(1, len(tasks)), backend=backend)
+    started = time.perf_counter()
+    try:
+        outcomes = executor.map(serve_shard, tasks)
+    finally:
+        executor.shutdown()
+    wall = time.perf_counter() - started
+    outcomes.sort(key=lambda o: o.shard_index)
+    return outcomes, merge_reports(outcomes, wall), plan

@@ -5,9 +5,11 @@ import os
 import pytest
 
 from repro.executors import (
+    CompletedTask,
     EXECUTOR_BACKENDS,
     ProcessPoolExecutor,
     SerialExecutor,
+    ThreadExecutor,
     make_executor,
     shared_executor,
     shutdown_shared_executors,
@@ -108,6 +110,53 @@ class TestMakeExecutor:
         with pytest.raises(ValueError):
             make_executor(2, backend="threads")
         assert "serial" in EXECUTOR_BACKENDS and "process" in EXECUTOR_BACKENDS
+
+    def test_thread_backend(self):
+        executor = make_executor(2, backend="thread")
+        assert isinstance(executor, ThreadExecutor)
+        assert executor.num_workers == 2
+        executor.shutdown()
+
+
+def _fail(_):
+    raise RuntimeError("task boom")
+
+
+class TestSubmit:
+    def test_serial_submit_runs_inline(self):
+        executor = SerialExecutor()
+        handle = executor.submit(_square, 6)
+        assert handle.ready()
+        assert handle.result() == 36
+
+    def test_serial_submit_captures_exceptions(self):
+        handle = SerialExecutor().submit(_fail, 0)
+        assert handle.ready()
+        with pytest.raises(RuntimeError, match="task boom"):
+            handle.result()
+
+    def test_completed_task_surface(self):
+        assert CompletedTask(value=3).result() == 3
+
+    def test_thread_submit_overlaps_caller(self):
+        with ThreadExecutor(1) as executor:
+            handle = executor.submit(_square, 7)
+            assert handle.result() == 49
+            failing = executor.submit(_fail, 0)
+            with pytest.raises(RuntimeError, match="task boom"):
+                failing.result()
+
+    def test_thread_map_preserves_order(self):
+        with ThreadExecutor(2) as executor:
+            assert executor.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+            # Threads share the caller's process.
+            assert executor.map(_getpid, [0])[0] == os.getpid()
+
+    def test_process_submit(self):
+        with ProcessPoolExecutor(1) as executor:
+            handle = executor.submit(_square, 8)
+            assert handle.result() == 64
+            assert handle.ready()
 
 
 class TestSharedExecutors:

@@ -1,0 +1,475 @@
+"""Tests for the adaptive serving loop: retrain-on-churn + tenant sharding.
+
+Covers the `needs_retraining()` threshold edges, tree adoption with churn
+replay, the RetrainController state machine on every executor backend, the
+churn schedules sized to force retrains, and telemetry merging across
+sharded serving workers.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.baselines import EffiCutsBuilder, HiCutsBuilder
+from repro.classbench import generate_classifier
+from repro.neurocuts import (
+    IncrementalUpdater,
+    RetrainRequest,
+    default_retrain_config,
+    run_retrain,
+)
+from repro.rules import Rule
+from repro.serve import (
+    ClassificationService,
+    BatchPolicy,
+    EngineSlot,
+    RetrainController,
+    RetrainPolicy,
+    ShardTenant,
+    TenantRegistry,
+    merge_reports,
+    serve_sharded,
+    shard_tenants,
+)
+from repro.workloads import (
+    ChurnConfig,
+    FlowTraceConfig,
+    build_workload,
+    make_tenant_specs,
+)
+
+
+@pytest.fixture(scope="module")
+def small_ruleset():
+    return generate_classifier("acl1", 50, seed=7)
+
+
+def _fresh_rules(ruleset, count, tag="edge"):
+    base = max(r.priority for r in ruleset) + 1
+    return [
+        Rule.from_prefixes(src_ip=f"198.51.{i}.0/24", priority=base + i,
+                           name=f"{tag}{i}")
+        for i in range(count)
+    ]
+
+
+class TestRetrainThresholdEdges:
+    """`needs_retraining()` must fire exactly at the threshold, not around it."""
+
+    def test_updater_fires_exactly_at_threshold(self, small_ruleset):
+        tree = HiCutsBuilder(binth=8).build(small_ruleset).trees[0]
+        updater = IncrementalUpdater(tree, retrain_threshold=3)
+        rules = _fresh_rules(small_ruleset, 3)
+        for i, rule in enumerate(rules):
+            assert not updater.needs_retraining(), \
+                f"fired after {i} updates (threshold 3)"
+            updater.add_rule(rule)
+        assert updater.needs_retraining()
+
+    def test_adds_and_removes_both_count(self, small_ruleset):
+        tree = HiCutsBuilder(binth=8).build(small_ruleset).trees[0]
+        updater = IncrementalUpdater(tree, retrain_threshold=2)
+        victim = next(r for r in small_ruleset.rules
+                      if r.num_wildcard_dims() < 5)
+        updater.remove_rule(victim)
+        assert not updater.needs_retraining()
+        updater.add_rule(_fresh_rules(small_ruleset, 1)[0])
+        assert updater.needs_retraining()
+
+    def test_threshold_one_fires_on_first_update(self, small_ruleset):
+        classifier = HiCutsBuilder(binth=8).build(small_ruleset)
+        slot = EngineSlot("t", classifier, background=False,
+                          retrain_threshold=1)
+        assert not slot.needs_retraining()
+        slot.apply_update(adds=_fresh_rules(small_ruleset, 1))
+        assert slot.needs_retraining()
+
+    def test_slot_tracks_threshold_through_registry(self, small_ruleset):
+        registry = TenantRegistry(background_swaps=False,
+                                  default_retrain_threshold=4)
+        slot = registry.register("a", small_ruleset)
+        override = registry.register("b", small_ruleset.with_default_rule(),
+                                     retrain_threshold=2)
+        assert slot.retrain_threshold == 4
+        assert override.retrain_threshold == 2
+        rules = _fresh_rules(small_ruleset, 4)
+        for rule in rules[:3]:
+            registry.apply_update("a", adds=[rule])
+        assert not slot.needs_retraining()
+        assert slot.updates_since_adoption == 3
+        registry.apply_update("a", adds=[rules[3]])
+        assert slot.needs_retraining()
+        assert registry.telemetry()["a"]["retrain"]["needs_retraining"]
+
+
+class TestAdoptClassifier:
+    def test_adoption_swaps_trees_and_resets_counters(self, small_ruleset):
+        classifier = HiCutsBuilder(binth=8).build(small_ruleset)
+        slot = EngineSlot("t", classifier, background=False,
+                          retrain_threshold=2)
+        slot.apply_update(adds=_fresh_rules(small_ruleset, 2))
+        assert slot.needs_retraining()
+        epoch_before = slot.epoch
+        replacement = EffiCutsBuilder(binth=8).build(slot.ruleset)
+        slot.adopt_classifier(replacement)
+        assert slot.classifier is replacement
+        assert slot.epoch == epoch_before + 1
+        assert not slot.needs_retraining()
+        assert slot.updates_since_adoption == 0
+        # The adopted epoch's snapshot is the latest ruleset.
+        assert slot.ruleset_at(slot.epoch) == slot.ruleset
+
+    def test_adoption_replays_churn_that_raced_the_retrain(self,
+                                                           small_ruleset):
+        classifier = HiCutsBuilder(binth=8).build(small_ruleset)
+        slot = EngineSlot("t", classifier, background=False)
+        base = slot.ruleset  # snapshot a retrain would train against
+        replacement = HiCutsBuilder(binth=8).build(base)
+        # Churn lands while the "retrain" runs: an add and a remove.
+        added = _fresh_rules(small_ruleset, 1, tag="raced")
+        victim = next(r for r in base.rules if r.num_wildcard_dims() < 5)
+        slot.apply_update(adds=added, removes=[victim])
+        slot.adopt_classifier(replacement, base_ruleset=base)
+        post = slot.ruleset_at(slot.epoch)
+        assert added[0] in post.rules and victim not in post.rules
+        # The raced updates count toward the *next* retrain.
+        assert slot.updates_since_adoption == 2
+        # Differential exactness of the adopted engine on the replayed set.
+        rng = random.Random(3)
+        packet = post.sample_matching_packet(added[0], rng)
+        match = slot.engine().classify(packet)
+        assert match is not None and match.priority == added[0].priority
+        for packet in post.sample_packets(200, seed=11):
+            expected = post.classify(packet)
+            actual = slot.engine().classify(packet)
+            assert (actual.priority if actual else None) == \
+                (expected.priority if expected else None)
+
+
+class TestRetrainService:
+    def test_run_retrain_returns_picklable_response(self, small_ruleset):
+        request = RetrainRequest(
+            tenant_id="t0",
+            ruleset=small_ruleset,
+            config=default_retrain_config(timesteps=300, seed=1),
+            max_iterations=1,
+        )
+        response = run_retrain(request)
+        assert response.tenant_id == "t0"
+        assert response.timesteps_total > 0
+        classifier = response.classifier(small_ruleset)
+        checked, mismatches = classifier.validate(
+            small_ruleset.sample_packets(150, seed=5))
+        assert checked == 150 and mismatches == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetrainPolicy(timesteps=0)
+        with pytest.raises(ValueError):
+            RetrainPolicy(backend="fork")
+        with pytest.raises(ValueError):
+            RetrainPolicy(rollout_workers=0)
+
+
+class TestRetrainController:
+    def _registry(self, ruleset, threshold=3):
+        registry = TenantRegistry(background_swaps=False,
+                                  default_retrain_threshold=threshold)
+        registry.register("t0", ruleset)
+        return registry
+
+    def test_serial_backend_full_cycle(self, small_ruleset):
+        registry = self._registry(small_ruleset)
+        slot = registry.slot("t0")
+        policy = RetrainPolicy(timesteps=300, max_iterations=1,
+                               backend="serial")
+        with RetrainController(registry, policy) as controller:
+            for rule in _fresh_rules(small_ruleset, 3, tag="cycle"):
+                registry.apply_update("t0", adds=[rule])
+            assert slot.needs_retraining()
+            assert controller.poll_tenant("t0") is True
+            assert controller.stats.triggered == 1
+            assert controller.stats.installed == 1
+            assert not slot.needs_retraining()
+            post = slot.ruleset_at(slot.epoch)
+            for packet in post.sample_packets(150, seed=2):
+                expected = post.classify(packet)
+                actual = slot.engine().classify(packet)
+                assert (actual.priority if actual else None) == \
+                    (expected.priority if expected else None)
+
+    def test_thread_backend_drain_lands_inflight_job(self, small_ruleset):
+        registry = self._registry(small_ruleset)
+        slot = registry.slot("t0")
+        policy = RetrainPolicy(timesteps=300, max_iterations=1,
+                               backend="thread")
+        with RetrainController(registry, policy) as controller:
+            for rule in _fresh_rules(small_ruleset, 3, tag="bg"):
+                registry.apply_update("t0", adds=[rule])
+            controller.poll_tenant("t0")
+            assert controller.stats.triggered == 1
+            assert controller.in_flight == ["t0"] or \
+                controller.stats.installed == 1
+            landed = controller.drain()
+            assert controller.stats.installed == 1 or landed == ["t0"]
+            assert not slot.needs_retraining()
+
+    def test_deregistered_tenant_discards_finished_job(self, small_ruleset):
+        registry = self._registry(small_ruleset)
+        policy = RetrainPolicy(timesteps=300, max_iterations=1,
+                               backend="thread")
+        with RetrainController(registry, policy) as controller:
+            for rule in _fresh_rules(small_ruleset, 3, tag="gone"):
+                registry.apply_update("t0", adds=[rule])
+            controller.poll_tenant("t0")
+            registry.deregister("t0")
+            controller.drain()
+            assert controller.stats.discarded == 1
+            assert controller.stats.installed == 0
+
+    def test_no_retrigger_while_job_in_flight(self, small_ruleset):
+        registry = self._registry(small_ruleset)
+        policy = RetrainPolicy(timesteps=300, max_iterations=1,
+                               backend="thread")
+        with RetrainController(registry, policy) as controller:
+            for rule in _fresh_rules(small_ruleset, 6, tag="dup"):
+                registry.apply_update("t0", adds=[rule])
+            controller.poll_tenant("t0")
+            # The slot still reports needs_retraining, but the in-flight
+            # job must not be duplicated by further polls.
+            controller.poll_tenant("t0")
+            assert controller.stats.triggered == 1
+            controller.drain()
+
+
+class TestForcingRetrainChurn:
+    def test_schedule_arithmetic(self):
+        churn = ChurnConfig.forcing_retrain(12, num_tenants=3,
+                                            adds_per_event=4,
+                                            removes_per_event=2)
+        # ceil(12 / 6) = 2 events per tenant, 3 tenants.
+        assert churn.num_events == 6
+        assert churn.adds_per_event == 4 and churn.removes_per_event == 2
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ChurnConfig.forcing_retrain(0, num_tenants=1)
+        with pytest.raises(ValueError):
+            ChurnConfig.forcing_retrain(5, num_tenants=0)
+        with pytest.raises(ValueError):
+            ChurnConfig.forcing_retrain(5, num_tenants=1, adds_per_event=0,
+                                        removes_per_event=0)
+
+    def test_schedule_actually_crosses_threshold(self):
+        threshold = 6
+        specs = make_tenant_specs(2, families=("acl1",), num_rules=40, seed=3)
+        churn = ChurnConfig.forcing_retrain(threshold, num_tenants=2,
+                                            adds_per_event=2,
+                                            removes_per_event=1)
+        workload = build_workload(
+            specs, FlowTraceConfig(num_packets=400, num_flows=60, seed=3),
+            churn=churn,
+        )
+        registry = TenantRegistry(background_swaps=False,
+                                  default_retrain_threshold=threshold)
+        for spec in specs:
+            registry.register(spec.tenant_id,
+                              workload.rulesets[spec.tenant_id])
+        for update in workload.updates:
+            registry.apply_update(update.tenant_id, adds=update.adds,
+                                  removes=update.removes)
+        for spec in specs:
+            assert registry.slot(spec.tenant_id).needs_retraining(), \
+                f"{spec.tenant_id} never crossed the retrain threshold"
+
+
+def _build_scenario(num_tenants=3, num_packets=2000, churn_events=2, seed=4):
+    specs = make_tenant_specs(num_tenants, families=("acl1", "ipc1"),
+                              num_rules=50, seed=seed)
+    churn = ChurnConfig(num_events=churn_events, adds_per_event=2,
+                        removes_per_event=1) if churn_events else None
+    workload = build_workload(
+        specs, FlowTraceConfig(num_packets=num_packets, num_flows=150,
+                               seed=seed),
+        churn=churn,
+    )
+    tenants = [ShardTenant(s.tenant_id, s.algorithm, s.binth) for s in specs]
+    return specs, workload, tenants
+
+
+class TestShardPlan:
+    def test_round_robin_assignment(self):
+        plan = shard_tenants(["a", "b", "c", "d", "e"], 2)
+        assert plan.assignments == (("a", "c", "e"), ("b", "d"))
+        assert plan.shard_of("d") == 1
+        with pytest.raises(KeyError):
+            plan.shard_of("zz")
+
+    def test_more_shards_than_tenants_leaves_empty_shards(self):
+        plan = shard_tenants(["a"], 3)
+        assert plan.assignments == (("a",), (), ())
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_tenants(["a"], 0)
+
+
+class TestShardedServing:
+    def test_merged_telemetry_equals_shard_sums(self):
+        _, workload, tenants = _build_scenario()
+        outcomes, merged, plan = serve_sharded(
+            tenants, workload.rulesets, workload.requests, workload.updates,
+            num_workers=2, backend="serial", record_batches=True,
+        )
+        assert plan.num_shards == 2 and len(outcomes) == 2
+        # Every request routed to exactly one shard and served there.
+        assert merged.num_requests == len(workload.requests)
+        assert merged.num_requests == \
+            sum(o.report.num_requests for o in outcomes)
+        for counter in ("num_batches", "num_updates", "cache_hits",
+                        "cache_evictions", "swaps", "swap_stalls"):
+            assert getattr(merged, counter) == \
+                sum(getattr(o.report, counter) for o in outcomes), counter
+        # Per-tenant entries survive the merge, disjointly.
+        tenant_ids = [t.tenant_id for t in tenants]
+        assert sorted(merged.per_tenant) == sorted(tenant_ids)
+        # Merged percentiles are exact over the concatenated latencies.
+        import numpy as np
+        all_lat = np.concatenate([o.report.latencies for o in outcomes])
+        assert merged.latency_percentiles[99.0] == \
+            pytest.approx(float(np.percentile(all_lat, 99.0)))
+        assert merged.latency_percentiles[50.0] <= \
+            merged.latency_percentiles[90.0] <= \
+            merged.latency_percentiles[99.0]
+
+    def test_sharded_exactness_across_hot_swaps(self):
+        from repro.harness.serving import run_serving
+
+        result = run_serving(num_tenants=3, families=("acl1",),
+                             num_rules=50, num_packets=2000, num_flows=150,
+                             churn_events=2, serving_workers=2,
+                             serving_backend="serial",
+                             record_batches=True, seed=5)
+        exactness = result.verify_exactness()
+        assert exactness.num_checked == result.report.num_requests
+        assert exactness.num_mismatches == 0
+        assert result.report.swaps >= 1
+        assert result.num_shards == 2
+        assert len(result.shard_rows()) == 2
+
+    def test_thread_backend_matches_serial_counts(self):
+        _, workload, tenants = _build_scenario(seed=6)
+        _, serial_merged, _ = serve_sharded(
+            tenants, workload.rulesets, workload.requests, workload.updates,
+            num_workers=2, backend="serial",
+        )
+        _, thread_merged, _ = serve_sharded(
+            tenants, workload.rulesets, workload.requests, workload.updates,
+            num_workers=2, backend="thread",
+        )
+        assert thread_merged.num_requests == serial_merged.num_requests
+        assert thread_merged.num_batches == serial_merged.num_batches
+        assert thread_merged.cache_hits == serial_merged.cache_hits
+        assert thread_merged.swaps == serial_merged.swaps
+
+    def test_empty_shards_are_skipped(self):
+        _, workload, tenants = _build_scenario(num_tenants=2,
+                                               num_packets=600,
+                                               churn_events=0)
+        outcomes, merged, plan = serve_sharded(
+            tenants, workload.rulesets, workload.requests,
+            num_workers=4, backend="serial",
+        )
+        assert plan.num_shards == 4
+        assert len(outcomes) == 2  # two tenants -> two non-empty shards
+        assert merged.num_requests == len(workload.requests)
+
+    def test_merge_reports_requires_outcomes_shape(self):
+        _, workload, tenants = _build_scenario(num_tenants=2,
+                                               num_packets=400,
+                                               churn_events=0)
+        outcomes, _, _ = serve_sharded(
+            tenants, workload.rulesets, workload.requests,
+            num_workers=2, backend="serial",
+        )
+        merged = merge_reports(outcomes, wall_seconds=1.0)
+        assert merged.wall_seconds == 1.0
+        assert merged.pps == pytest.approx(merged.num_requests / 1.0)
+
+
+class TestHiCutsFwWarning:
+    def test_warns_on_large_fw_hicuts(self):
+        from repro.harness.serving import warn_if_hicuts_on_fw
+
+        with pytest.warns(RuntimeWarning, match="EffiCuts"):
+            message = warn_if_hicuts_on_fw(("acl1", "fw1"), "HiCuts", 500)
+        assert message is not None and "fw1" in message
+
+    def test_silent_when_safe(self):
+        import warnings
+
+        from repro.harness.serving import warn_if_hicuts_on_fw
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert warn_if_hicuts_on_fw(("fw1",), "EffiCuts", 500) is None
+            assert warn_if_hicuts_on_fw(("acl1",), "HiCuts", 500) is None
+            assert warn_if_hicuts_on_fw(("fw1",), "HiCuts", 150) is None
+
+
+class TestServiceRetrainIntegration:
+    def test_serve_triggers_and_installs_retrain(self):
+        threshold = 4
+        specs = make_tenant_specs(1, families=("acl1",), num_rules=40,
+                                  seed=8)
+        churn = ChurnConfig.forcing_retrain(threshold, num_tenants=1,
+                                            adds_per_event=2,
+                                            removes_per_event=0)
+        workload = build_workload(
+            specs, FlowTraceConfig(num_packets=1200, num_flows=100, seed=8),
+            churn=churn,
+        )
+        registry = TenantRegistry(background_swaps=False,
+                                  default_retrain_threshold=threshold)
+        registry.register(specs[0].tenant_id,
+                          workload.rulesets[specs[0].tenant_id])
+        controller = RetrainController(
+            registry,
+            RetrainPolicy(timesteps=300, max_iterations=1, backend="serial"),
+        )
+        service = ClassificationService(
+            registry, BatchPolicy(max_batch=32), record_batches=True,
+            retrain_controller=controller,
+        )
+        report = service.serve(workload.requests, updates=workload.updates)
+        controller.close()
+        assert report.retrains_triggered >= 1
+        assert report.retrains_installed == report.retrains_triggered
+        assert report.num_requests == len(workload.requests)
+        # Exactness across the retrain adoption.
+        slot = registry.slot(specs[0].tenant_id)
+        mismatches = 0
+        for batch in report.batches:
+            ruleset = slot.ruleset_at(batch.epoch)
+            for request, priority in zip(batch.requests, batch.priorities):
+                expected = ruleset.classify(request.packet)
+                if (expected.priority if expected else None) != priority:
+                    mismatches += 1
+        assert mismatches == 0
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="process-shard smoke needs >= 2 CPUs to be "
+                           "worth the spawn cost")
+def test_process_backend_shards_really_run_in_processes():
+    _, workload, tenants = _build_scenario(num_tenants=2, num_packets=600,
+                                           churn_events=0)
+    outcomes, merged, _ = serve_sharded(
+        tenants, workload.rulesets, workload.requests,
+        num_workers=2, backend="process",
+    )
+    assert merged.num_requests == len(workload.requests)
+    assert len(outcomes) == 2

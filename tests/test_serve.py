@@ -224,8 +224,10 @@ class TestTenantRegistry:
         registry = TenantRegistry()
         registry.register("alpha", serving_ruleset)
         entry = registry.telemetry()["alpha"]
-        assert set(entry) == {"rules", "epoch", "cache", "swap"}
+        assert set(entry) == {"rules", "epoch", "cache", "swap", "retrain"}
         assert entry["cache"]["hits"] == 0 and entry["swap"]["swaps"] == 0
+        assert entry["retrain"]["accumulated_updates"] == 0
+        assert entry["retrain"]["needs_retraining"] is False
 
 
 class TestClassificationService:
