@@ -18,6 +18,12 @@ Python (full reference with copy-pasteable invocations: docs/cli.md):
   arms the retrain-on-churn loop (background NeuroCuts retrains swap in new
   trees mid-run) and ``--serving-workers`` shards tenants across serving
   processes with merged telemetry.
+* ``repro trace`` — record serving runs as replayable binary trace files
+  and work with them: ``record`` captures a scenario plus every served
+  decision (the golden column), ``replay`` drives the full serving stack
+  from a file (``--verify`` asserts zero decision diffs vs the golden
+  column), ``inspect`` prints a trace's header and contents, and ``diff``
+  compares two traces field-for-field.
 
 Run ``python -m repro.cli --help`` (or the installed ``repro`` script) for
 details.
@@ -168,6 +174,93 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=EXECUTOR_BACKENDS,
                        help="executor backend for serving shards")
     serve.add_argument("--seed", type=int, default=0)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="record, replay, inspect, and diff serving traces",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser(
+        "record",
+        help="serve a generated scenario and record it as a trace file",
+    )
+    record.add_argument("--output", type=Path, required=True,
+                        help="path of the trace file to write")
+    record.add_argument("--tenants", type=int, default=3)
+    record.add_argument("--families", default="acl1,fw1,ipc1",
+                        help="comma-separated seed families cycled across "
+                             "tenants")
+    record.add_argument("--num-rules", type=int, default=150,
+                        help="rules per tenant classifier")
+    record.add_argument("--num-packets", type=int, default=20_000,
+                        help="total requests across tenants")
+    record.add_argument("--num-flows", type=int, default=512)
+    record.add_argument("--zipf", type=float, default=1.1,
+                        help="Zipf exponent of flow popularity")
+    record.add_argument("--burst", type=float, default=16.0,
+                        help="mean packets per arrival burst")
+    record.add_argument("--algorithm", default="HiCuts")
+    record.add_argument("--binth", type=int, default=8)
+    record.add_argument("--batch-size", type=int, default=64)
+    record.add_argument("--max-delay-ms", type=float, default=1.0)
+    record.add_argument("--flow-cache", type=int, default=2048)
+    record.add_argument("--churn-events", type=int, default=2,
+                        help="mid-trace rule updates captured in the "
+                             "churn sidecar")
+    record.add_argument("--seed", type=int, default=0)
+
+    replay = trace_sub.add_parser(
+        "replay",
+        help="serve a recorded trace through the full serving stack",
+    )
+    replay.add_argument("trace", type=Path, help="trace file to replay")
+    replay.add_argument("--verify", action="store_true",
+                        help="compare every served decision against the "
+                             "trace's golden column (exit 1 on any diff)")
+    replay.add_argument("--output", type=Path, default=None,
+                        help="re-record the replay to this trace file "
+                             "(diffs clean against the source when exact)")
+    replay.add_argument("--batch-size", type=int, default=64)
+    replay.add_argument("--max-delay-ms", type=float, default=1.0)
+    replay.add_argument("--flow-cache", type=int, default=2048,
+                        help="per-tenant LRU flow cache capacity "
+                             "(0 disables)")
+    replay.add_argument("--background-swaps", action="store_true",
+                        help="rebuild engines in the background like a "
+                             "production run (swap timing then depends on "
+                             "the wall clock, so --verify may report "
+                             "mismatches around update times)")
+    replay.add_argument("--retrain-threshold", type=int, default=0,
+                        metavar="N",
+                        help="arm the retrain loop during the replay "
+                             "(0 disables)")
+    replay.add_argument("--retrain-timesteps", type=int, default=3000)
+    replay.add_argument("--retrain-backend", default="serial",
+                        choices=EXECUTOR_BACKENDS,
+                        help="where replay retrains run (serial keeps the "
+                             "replay deterministic)")
+    replay.add_argument("--serving-workers", type=int, default=1,
+                        metavar="N",
+                        help="shard the trace's tenants across N serving "
+                             "workers")
+    replay.add_argument("--serving-backend", default="process",
+                        choices=EXECUTOR_BACKENDS)
+
+    inspect = trace_sub.add_parser(
+        "inspect", help="print a trace file's header and contents"
+    )
+    inspect.add_argument("trace", type=Path, help="trace file to inspect")
+    inspect.add_argument("--head", type=int, default=0, metavar="N",
+                         help="also print the first N packet records")
+
+    diff = trace_sub.add_parser(
+        "diff", help="compare two trace files field-for-field"
+    )
+    diff.add_argument("trace_a", type=Path)
+    diff.add_argument("trace_b", type=Path)
+    diff.add_argument("--max-examples", type=int, default=10,
+                      help="per-record difference examples to print")
 
     return parser
 
@@ -387,6 +480,190 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.exceptions import TraceError
+    from repro.traces import record_serving
+
+    if args.tenants < 1:
+        print("error: --tenants must be >= 1", file=sys.stderr)
+        return 2
+    if args.num_packets < 1:
+        print("error: --num-packets must be >= 1", file=sys.stderr)
+        return 2
+    families = tuple(f.strip() for f in args.families.split(",") if f.strip())
+    try:
+        outcome = record_serving(
+            args.output,
+            num_tenants=args.tenants,
+            families=families,
+            num_rules=args.num_rules,
+            num_packets=args.num_packets,
+            num_flows=args.num_flows,
+            zipf_alpha=args.zipf,
+            mean_burst=args.burst,
+            algorithm=args.algorithm,
+            binth=args.binth,
+            max_batch=args.batch_size,
+            max_delay=args.max_delay_ms * 1e-3,
+            flow_cache_size=args.flow_cache if args.flow_cache > 0 else None,
+            churn_events=args.churn_events,
+            seed=args.seed,
+        )
+    except (TraceError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    trace = outcome.trace
+    matched = int(trace.records["golden_matched"].sum())
+    print(f"recorded {trace.describe()}")
+    print(f"golden column: {matched}/{trace.num_records} packets matched "
+          f"a rule in the live run")
+    print(f"wrote {outcome.path} ({outcome.path.stat().st_size:,} bytes)")
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from repro.exceptions import TraceError
+    from repro.serve.controller import RetrainPolicy
+    from repro.traces import read_trace, replay_trace, trace_from_run, \
+        write_trace
+
+    if args.serving_workers < 1:
+        print("error: --serving-workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.retrain_threshold < 0:
+        print("error: --retrain-threshold must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        trace = read_trace(args.trace)
+        retrain_policy = None
+        if args.retrain_threshold > 0:
+            retrain_policy = RetrainPolicy(timesteps=args.retrain_timesteps,
+                                           backend=args.retrain_backend,
+                                           seed=trace.seed)
+        outcome = replay_trace(
+            trace,
+            verify=True,
+            max_batch=args.batch_size,
+            max_delay=args.max_delay_ms * 1e-3,
+            flow_cache_size=args.flow_cache if args.flow_cache > 0 else None,
+            background_swaps=args.background_swaps,
+            retrain_threshold=args.retrain_threshold
+            if args.retrain_threshold > 0 else None,
+            retrain_policy=retrain_policy,
+            serving_workers=args.serving_workers,
+            serving_backend=args.serving_backend,
+        )
+    except (TraceError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result, report = outcome.result, outcome.report
+    print(f"replayed {trace.describe()}")
+    print(format_table(["metric", "value"], result.rows()))
+    print(format_table(["check", "count"], report.rows()))
+    if args.output is not None:
+        try:
+            replayed = trace_from_run(result.workload, result.report,
+                                      seed=trace.seed,
+                                      scenario=trace.scenario)
+            written = write_trace(replayed, args.output)
+        except TraceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"re-recorded replay to {written}")
+    if args.verify:
+        if not report.is_exact:
+            for miss in report.mismatches:
+                print(f"  row {miss.row} ({miss.tenant_id} "
+                      f"t={miss.time:.6f}): golden "
+                      f"{miss.golden_priority} != replayed "
+                      f"{miss.replayed_priority}", file=sys.stderr)
+            print(f"error: replay diverged from the golden column "
+                  f"({report.num_dropped} dropped, "
+                  f"{report.num_duplicates} duplicated, "
+                  f"{report.num_mismatches} misclassified)", file=sys.stderr)
+            return 1
+        print(f"verify: {report.num_served} packets served, 0 dropped, "
+              f"0 misclassified (golden column matches)")
+    return 0
+
+
+def _cmd_trace_inspect(args: argparse.Namespace) -> int:
+    from repro.exceptions import TraceError
+    from repro.traces import TRACE_FORMAT_VERSION, read_trace
+
+    try:
+        trace = read_trace(args.trace)
+    except TraceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    matched = int(trace.records["golden_matched"].sum())
+    print(f"{args.trace}: format v{TRACE_FORMAT_VERSION}, {trace.describe()}")
+    print(format_table(
+        ["tenant", "family", "rules", "algorithm", "binth", "packets"],
+        [
+            [
+                spec.tenant_id,
+                spec.seed_name,
+                len(trace.rulesets[spec.tenant_id]),
+                spec.algorithm,
+                spec.binth,
+                int((trace.records["tenant"] == t).sum()),
+            ]
+            for t, spec in enumerate(trace.specs)
+        ],
+    ))
+    print(f"golden column: {matched}/{trace.num_records} matched, "
+          f"{trace.num_records - matched} no-match")
+    if trace.scenario:
+        print(f"scenario: {json.dumps(trace.scenario, sort_keys=True)}")
+    for i, update in enumerate(trace.updates):
+        print(f"churn[{i}] t={update.time:.6f} {update.tenant_id}: "
+              f"+{len(update.adds)} -{len(update.removes)} rules")
+    if args.head > 0:
+        tenant_ids = trace.tenant_ids
+        for row in range(min(args.head, trace.num_records)):
+            rec = trace.records[row]
+            golden = trace.golden_priority(row)
+            print(f"  [{row}] t={float(rec['time']):.6f} "
+                  f"{tenant_ids[int(rec['tenant'])]} "
+                  f"flow={int(rec['flow_id'])} "
+                  f"{int(rec['src_ip'])}->{int(rec['dst_ip'])} "
+                  f"sport={int(rec['src_port'])} dport={int(rec['dst_port'])} "
+                  f"proto={int(rec['protocol'])} golden={golden}")
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.exceptions import TraceError
+    from repro.traces import diff_traces
+
+    try:
+        diff = diff_traces(args.trace_a, args.trace_b,
+                           max_examples=args.max_examples)
+    except TraceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if diff.identical:
+        print(f"{args.trace_a} and {args.trace_b} are identical")
+        return 0
+    print(f"{args.trace_a} and {args.trace_b} differ:")
+    for line in diff.lines():
+        print(f"  {line}")
+    return 1
+
+
+_TRACE_COMMANDS = {
+    "record": _cmd_trace_record,
+    "replay": _cmd_trace_replay,
+    "inspect": _cmd_trace_inspect,
+    "diff": _cmd_trace_diff,
+}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    return _TRACE_COMMANDS[args.trace_command](args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compare": _cmd_compare,
@@ -394,6 +671,7 @@ _COMMANDS = {
     "classify": _cmd_classify,
     "engine-bench": _cmd_engine_bench,
     "serve-bench": _cmd_serve_bench,
+    "trace": _cmd_trace,
 }
 
 

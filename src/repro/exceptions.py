@@ -35,3 +35,13 @@ class ConfigError(ReproError):
 
 class CheckpointError(ReproError):
     """A model checkpoint could not be saved or restored."""
+
+
+class TraceError(ReproError):
+    """A serving trace could not be recorded, replayed, or verified."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file is malformed: bad magic, unsupported version, truncated
+    payload, or internally inconsistent contents (e.g. a packet record
+    referencing a tenant the trace never declared)."""

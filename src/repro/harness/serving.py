@@ -20,13 +20,18 @@ Two knobs close the adaptive-serving loop on top of that:
 * ``serving_workers > 1`` shards tenants across worker processes
   (:mod:`repro.serve.sharded`) and returns a :class:`ShardedServingResult`
   whose telemetry is merged exactly from the per-shard reports.
+
+``run_serving(trace_path=...)`` swaps the generator out entirely: the
+workload (tenants, rulesets, packets, churn) is loaded from a recorded
+trace file (:mod:`repro.traces`) and served through the identical stack.
 """
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.serve.batcher import BatchPolicy
 from repro.serve.controller import RetrainController, RetrainPolicy
@@ -41,6 +46,8 @@ from repro.serve.sharded import (
     serve_sharded,
 )
 from repro.rules.ruleset import RuleSet
+from repro.traces.format import ServingTrace
+from repro.traces.io import read_trace
 from repro.workloads.scenario import (
     DEFAULT_FAMILIES,
     ChurnConfig,
@@ -248,9 +255,10 @@ def run_serving(
     retrain_policy: Optional[RetrainPolicy] = None,
     serving_workers: int = 1,
     serving_backend: str = "process",
+    trace_path: Optional[Union[str, Path, ServingTrace]] = None,
     seed: int = 0,
 ):
-    """Serve a generated multi-tenant workload and collect telemetry.
+    """Serve a multi-tenant workload and collect telemetry.
 
     Args mirror the workload/serving knobs: ``num_packets`` is the total
     request count across tenants, ``churn_events`` schedules that many
@@ -267,23 +275,46 @@ def run_serving(
     that many workers on ``serving_backend`` (``"process"`` for real
     parallelism; ``"thread"``/``"serial"`` for tests) and returns a
     :class:`ShardedServingResult` instead of a :class:`ServingResult`.
+
+    ``trace_path`` replays a recorded trace (a file path or a loaded
+    :class:`~repro.traces.format.ServingTrace`) instead of generating a
+    workload: tenants, rulesets, the packet stream, and the churn schedule
+    all come from the trace, and the generation knobs (``num_tenants``,
+    ``families``, ``num_packets``, ``churn_events``, ...) are ignored.  The
+    serving knobs still apply, so a trace can be replayed with a different
+    batch size, cache size, shard count, or retrain policy.
     """
     if serving_workers < 1:
         raise ValueError("serving_workers must be >= 1")
-    warn_if_hicuts_on_fw(families, algorithm, num_rules)
-    specs = make_tenant_specs(num_tenants, families=families,
-                              num_rules=num_rules, seed=seed,
-                              algorithm=algorithm, binth=binth)
-    trace = FlowTraceConfig(num_packets=num_packets, num_flows=num_flows,
-                            zipf_alpha=zipf_alpha, mean_burst=mean_burst,
-                            seed=seed)
-    churn = ChurnConfig(num_events=churn_events,
-                        adds_per_event=adds_per_event,
-                        removes_per_event=removes_per_event) \
-        if churn_events > 0 else None
-    workload = build_workload(specs, trace,
-                              tenant_zipf_alpha=tenant_zipf_alpha,
-                              churn=churn)
+    if trace_path is not None:
+        trace = trace_path if isinstance(trace_path, ServingTrace) \
+            else read_trace(trace_path)
+        workload = trace.to_workload()
+        specs = workload.specs
+        for spec in specs:
+            warn_if_hicuts_on_fw([spec.seed_name], spec.algorithm,
+                                 len(workload.rulesets[spec.tenant_id]))
+        if retrain_threshold is not None and retrain_policy is None:
+            # Replay determinism contract (docs/traces.md): retrains run
+            # serially, seeded from the trace, so every replay surface
+            # trains the same trees and reports the same counters.
+            retrain_policy = RetrainPolicy(backend="serial",
+                                           seed=trace.seed)
+    else:
+        warn_if_hicuts_on_fw(families, algorithm, num_rules)
+        specs = make_tenant_specs(num_tenants, families=families,
+                                  num_rules=num_rules, seed=seed,
+                                  algorithm=algorithm, binth=binth)
+        trace = FlowTraceConfig(num_packets=num_packets, num_flows=num_flows,
+                                zipf_alpha=zipf_alpha, mean_burst=mean_burst,
+                                seed=seed)
+        churn = ChurnConfig(num_events=churn_events,
+                            adds_per_event=adds_per_event,
+                            removes_per_event=removes_per_event) \
+            if churn_events > 0 else None
+        workload = build_workload(specs, trace,
+                                  tenant_zipf_alpha=tenant_zipf_alpha,
+                                  churn=churn)
     if retrain_threshold is not None and retrain_policy is None:
         retrain_policy = RetrainPolicy(seed=seed)
     if retrain_threshold is None:

@@ -27,11 +27,19 @@ class Request:
         packet: the 5-tuple header to classify.
         time: arrival timestamp in trace seconds (drives batching deadlines
             and queueing-latency accounting).
+        flow_id: the workload flow this packet belongs to (per-tenant
+            namespace; -1 when the source carries no flow structure).
+        seq: position of the request in its workload's time-ordered stream
+            (-1 for ad-hoc requests).  Stable across batching, hot swaps,
+            and the shard pickle boundary, which is what lets trace
+            recording map served decisions back to trace rows.
     """
 
     tenant_id: str
     packet: Packet
     time: float = 0.0
+    flow_id: int = -1
+    seq: int = -1
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,138 @@
+"""Trace diffing: field-for-field comparison of two recorded runs.
+
+``diff_traces`` compares two traces the way the regression gate needs:
+header metadata (seed, scenario, tenant roster), initial rulesets, the
+churn sidecar, and every packet record including the golden column.  Two
+recordings of the same deterministic scenario must diff clean; a replay
+re-recorded with ``repro trace replay --output`` must diff clean against
+its source — any difference is a behaviour change worth a look.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.traces.format import RECORD_DTYPE, ServingTrace
+from repro.traces.io import read_trace
+
+#: How many per-record difference examples a diff keeps for display.
+MAX_DIFF_EXAMPLES = 10
+
+
+@dataclass
+class TraceDiff:
+    """Everything that differs between two traces."""
+
+    #: Human-readable metadata differences (seed, scenario, tenants, rules).
+    header_diffs: List[str] = field(default_factory=list)
+    #: Packet-record rows whose non-golden fields differ.
+    num_record_diffs: int = 0
+    #: Rows whose golden column (matched / priority) differs.
+    num_golden_diffs: int = 0
+    #: Churn-schedule differences, as human-readable lines.
+    update_diffs: List[str] = field(default_factory=list)
+    #: First few per-row difference descriptions.
+    examples: List[str] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return (not self.header_diffs and not self.update_diffs
+                and self.num_record_diffs == 0 and self.num_golden_diffs == 0)
+
+    def lines(self) -> List[str]:
+        """The diff as printable lines (empty when identical)."""
+        out = list(self.header_diffs)
+        out.extend(self.update_diffs)
+        if self.num_record_diffs:
+            out.append(f"{self.num_record_diffs} packet record(s) differ")
+        if self.num_golden_diffs:
+            out.append(f"{self.num_golden_diffs} golden decision(s) differ")
+        out.extend(f"  {example}" for example in self.examples)
+        return out
+
+
+def diff_traces(a: Union[str, Path, ServingTrace],
+                b: Union[str, Path, ServingTrace],
+                max_examples: int = MAX_DIFF_EXAMPLES) -> TraceDiff:
+    """Compare two traces field-for-field; see :class:`TraceDiff`."""
+    if not isinstance(a, ServingTrace):
+        a = read_trace(a)
+    if not isinstance(b, ServingTrace):
+        b = read_trace(b)
+    diff = TraceDiff()
+
+    if a.seed != b.seed:
+        diff.header_diffs.append(f"seed: {a.seed} != {b.seed}")
+    if a.scenario != b.scenario:
+        diff.header_diffs.append(
+            f"scenario metadata differs: {a.scenario!r} != {b.scenario!r}"
+        )
+    ids_a = [s.tenant_id for s in a.specs]
+    ids_b = [s.tenant_id for s in b.specs]
+    if ids_a != ids_b:
+        diff.header_diffs.append(
+            f"tenant rosters differ: {ids_a} != {ids_b}"
+        )
+    else:
+        for spec_a, spec_b in zip(a.specs, b.specs):
+            if spec_a != spec_b:
+                fields = [
+                    f"{name}: {getattr(spec_a, name)!r} != "
+                    f"{getattr(spec_b, name)!r}"
+                    for name in ("seed_name", "num_rules", "seed",
+                                 "algorithm", "binth")
+                    if getattr(spec_a, name) != getattr(spec_b, name)
+                ]
+                diff.header_diffs.append(
+                    f"tenant {spec_a.tenant_id!r} spec differs: "
+                    + ", ".join(fields)
+                )
+        for spec in a.specs:
+            ra, rb = a.rulesets[spec.tenant_id], b.rulesets[spec.tenant_id]
+            if ra != rb or ra.name != rb.name:
+                diff.header_diffs.append(
+                    f"initial ruleset differs for tenant {spec.tenant_id!r} "
+                    f"({len(ra)} vs {len(rb)} rules)"
+                )
+
+    if a.updates != b.updates:
+        limit = max(len(a.updates), len(b.updates))
+        for i in range(limit):
+            ua = a.updates[i] if i < len(a.updates) else None
+            ub = b.updates[i] if i < len(b.updates) else None
+            if ua != ub:
+                diff.update_diffs.append(f"churn event {i} differs")
+
+    if len(a.records) != len(b.records):
+        diff.num_record_diffs = abs(len(a.records) - len(b.records))
+        diff.examples.append(
+            f"record counts differ: {len(a.records)} vs {len(b.records)}"
+        )
+        return diff
+
+    golden_fields = ("golden_matched", "golden_priority")
+    payload_fields = [name for name in RECORD_DTYPE.names
+                      if name not in golden_fields]
+    payload_differs = np.zeros(len(a.records), dtype=bool)
+    for name in payload_fields:
+        payload_differs |= a.records[name] != b.records[name]
+    golden_differs = np.zeros(len(a.records), dtype=bool)
+    for name in golden_fields:
+        golden_differs |= a.records[name] != b.records[name]
+
+    diff.num_record_diffs = int(np.count_nonzero(payload_differs))
+    diff.num_golden_diffs = int(np.count_nonzero(golden_differs))
+    for row in np.flatnonzero(payload_differs | golden_differs):
+        if len(diff.examples) >= max_examples:
+            break
+        fields = [
+            f"{name}: {a.records[int(row)][name]} != {b.records[int(row)][name]}"
+            for name in RECORD_DTYPE.names
+            if a.records[int(row)][name] != b.records[int(row)][name]
+        ]
+        diff.examples.append(f"row {int(row)}: " + ", ".join(fields))
+    return diff

@@ -1,0 +1,163 @@
+"""Binary trace files: the on-disk encoding of a :class:`ServingTrace`.
+
+Layout (all integers little-endian)::
+
+    bytes 0..7    magic  b"REPROTRC"
+    bytes 8..9    format version (uint16)
+    bytes 10..13  JSON header length in bytes (uint32)
+    ...           header JSON (utf-8): seed, scenario, tenant table, counts
+    ...           packet records   (np.save, RECORD_DTYPE)
+    ...           rule sidecar     (np.save, RULE_DTYPE)
+    ...           churn events     (np.save, EVENT_DTYPE)
+
+Every decode error — bad magic, unsupported version, truncated payload,
+corrupt arrays, inconsistent counts — surfaces as
+:class:`~repro.exceptions.TraceFormatError`, never as a raw NumPy or JSON
+traceback, so callers can catch one exception type and report a clean
+message for an unreadable file.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import TraceFormatError
+from repro.traces.format import (
+    EVENT_DTYPE,
+    RECORD_DTYPE,
+    RULE_DTYPE,
+    TRACE_FORMAT_VERSION,
+    TRACE_MAGIC,
+    ServingTrace,
+)
+
+_PREAMBLE = struct.Struct("<HI")  # version, header length
+
+
+class TraceWriter:
+    """Writes :class:`ServingTrace` objects to trace files.
+
+    The encoding is deterministic: the same trace always produces the same
+    bytes (header keys are emitted in a fixed order, arrays are fixed
+    dtypes), so recorded fixtures can be compared byte-for-byte.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def write(self, trace: ServingTrace) -> Path:
+        """Serialise the trace; returns the path written."""
+        header = json.dumps(trace.header(), sort_keys=True).encode("utf-8")
+        buffer = io.BytesIO()
+        buffer.write(TRACE_MAGIC)
+        buffer.write(_PREAMBLE.pack(TRACE_FORMAT_VERSION, len(header)))
+        buffer.write(header)
+        np.save(buffer, trace.records, allow_pickle=False)
+        np.save(buffer, trace.rules_sidecar(), allow_pickle=False)
+        np.save(buffer, trace.events_sidecar(), allow_pickle=False)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_bytes(buffer.getvalue())
+        except OSError as error:
+            raise TraceFormatError(
+                f"trace file {self.path} could not be written: {error}"
+            ) from error
+        return self.path
+
+
+class TraceReader:
+    """Reads trace files back into :class:`ServingTrace` objects."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def read(self) -> ServingTrace:
+        """Parse and validate the file; raises ``TraceFormatError`` if bad."""
+        try:
+            data = self.path.read_bytes()
+        except OSError as error:
+            raise TraceFormatError(
+                f"trace file {self.path} could not be read: {error}"
+            ) from error
+        buffer = io.BytesIO(data)
+
+        magic = buffer.read(len(TRACE_MAGIC))
+        if magic != TRACE_MAGIC:
+            raise TraceFormatError(
+                f"{self.path} is not a repro trace file "
+                f"(bad magic {magic!r}, expected {TRACE_MAGIC!r})"
+            )
+        preamble = buffer.read(_PREAMBLE.size)
+        if len(preamble) < _PREAMBLE.size:
+            raise TraceFormatError(f"{self.path} is truncated (no preamble)")
+        version, header_length = _PREAMBLE.unpack(preamble)
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceFormatError(
+                f"{self.path} uses trace format version {version}; this "
+                f"build reads version {TRACE_FORMAT_VERSION}"
+            )
+        header_bytes = buffer.read(header_length)
+        if len(header_bytes) < header_length:
+            raise TraceFormatError(
+                f"{self.path} is truncated (header cut short)"
+            )
+        try:
+            header = json.loads(header_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise TraceFormatError(
+                f"{self.path} has a corrupt header: {error}"
+            ) from error
+        if not isinstance(header, dict):
+            raise TraceFormatError(f"{self.path} header is not a JSON object")
+
+        records = self._load_array(buffer, "packet records", RECORD_DTYPE)
+        rules = self._load_array(buffer, "rule sidecar", RULE_DTYPE)
+        events = self._load_array(buffer, "churn events", EVENT_DTYPE)
+
+        counts = header.get("counts", {})
+        expected = {
+            "records": len(records),
+            "rules": len(rules),
+            "events": len(events),
+        }
+        for key, actual in expected.items():
+            declared = counts.get(key)
+            if declared is not None and declared != actual:
+                raise TraceFormatError(
+                    f"{self.path} declares {declared} {key} but contains "
+                    f"{actual} (truncated or corrupt)"
+                )
+
+        return ServingTrace.from_arrays(header, records, rules, events)
+
+    def _load_array(self, buffer: io.BytesIO, what: str,
+                    dtype: np.dtype) -> np.ndarray:
+        try:
+            array = np.load(buffer, allow_pickle=False)
+        except Exception as error:
+            raise TraceFormatError(
+                f"{self.path} {what} could not be decoded "
+                f"(truncated or corrupt): {error}"
+            ) from error
+        if array.dtype != dtype:
+            raise TraceFormatError(
+                f"{self.path} {what} has dtype {array.dtype}, "
+                f"expected {dtype}"
+            )
+        return array
+
+
+def write_trace(trace: ServingTrace, path: Union[str, Path]) -> Path:
+    """Write a trace to disk (convenience wrapper over TraceWriter)."""
+    return TraceWriter(path).write(trace)
+
+
+def read_trace(path: Union[str, Path]) -> ServingTrace:
+    """Read and validate a trace file (convenience wrapper over TraceReader)."""
+    return TraceReader(path).read()

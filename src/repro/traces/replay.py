@@ -1,0 +1,189 @@
+"""Replay: drive the full serving stack from a trace file.
+
+``replay_trace`` rebuilds the serving stack — registry, compiled engines,
+micro-batcher, hot swaps, optional retrain controller, optional tenant
+shards — from a recorded trace and serves exactly the recorded packet
+stream on the trace's own clock.  With ``verify=True`` every served
+decision is compared against the trace's golden column, turning the
+zero-misclassification invariant into a regression check against a fixed,
+versioned input: zero drops, zero duplicates, zero decision diffs.
+
+Replays default to synchronous swaps (the recording determinism contract,
+see :mod:`repro.traces.format`); two replays of the same trace then produce
+identical decisions *and* identical deterministic telemetry counters
+(:func:`deterministic_counters`), in single-process and sharded mode alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.serve.controller import RetrainPolicy
+from repro.serve.service import ServingReport
+from repro.traces.format import ServingTrace
+from repro.traces.io import read_trace
+from repro.traces.record import fold_batches_by_seq
+
+#: How many mismatch examples a report keeps for display.
+MAX_MISMATCH_EXAMPLES = 10
+
+
+def deterministic_counters(report: ServingReport) -> Dict[str, int]:
+    """The telemetry counters that must be identical across replays.
+
+    Wall-clock figures (pps, latencies, build/train seconds) are excluded
+    on purpose: they measure the machine, not the run.  Everything here is
+    a pure function of the trace under the determinism contract.
+    """
+    return {
+        "num_requests": report.num_requests,
+        "num_batches": report.num_batches,
+        "num_updates": report.num_updates,
+        "swaps": report.swaps,
+        "swap_stalls": report.swap_stalls,
+        "cache_hits": report.cache_hits,
+        "cache_lookups": report.cache_lookups,
+        "cache_evictions": report.cache_evictions,
+        "cache_invalidations": report.cache_invalidations,
+        "retrains_triggered": report.retrains_triggered,
+        "retrains_installed": report.retrains_installed,
+        "retrains_discarded": report.retrains_discarded,
+    }
+
+
+@dataclass(frozen=True)
+class ReplayMismatch:
+    """One replayed decision that disagreed with the golden column."""
+
+    row: int
+    tenant_id: str
+    time: float
+    golden_priority: Optional[int]
+    replayed_priority: Optional[int]
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of verifying one replay against a trace's golden column."""
+
+    num_records: int
+    num_served: int
+    #: Trace rows never answered by the replay (must be 0).
+    num_dropped: int
+    #: Trace rows answered more than once (must be 0).
+    num_duplicates: int
+    num_mismatches: int
+    mismatches: List[ReplayMismatch] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when every packet was served once with the golden answer."""
+        return (self.num_dropped == 0 and self.num_duplicates == 0
+                and self.num_mismatches == 0)
+
+    def rows(self) -> List[List[object]]:
+        """Summary rows for :func:`repro.harness.tables.format_table`."""
+        return [
+            ["trace records", f"{self.num_records:,}"],
+            ["served", f"{self.num_served:,}"],
+            ["dropped", f"{self.num_dropped:,}"],
+            ["duplicates", f"{self.num_duplicates:,}"],
+            ["golden mismatches", f"{self.num_mismatches:,}"],
+        ]
+
+
+def verify_replay(trace: ServingTrace, report: ServingReport) -> ReplayReport:
+    """Compare a replay's served decisions against the golden column.
+
+    ``report`` must carry recorded batches.  Decisions map back to trace
+    rows via each request's ``seq`` stamp, so batching order, hot swaps,
+    retrains, and sharding cannot confuse the comparison.
+    """
+    if report.batches is None:
+        raise TraceError(
+            "verification needs served batches; replay with "
+            "record_batches=True"
+        )
+    served, decisions = fold_batches_by_seq(report.batches,
+                                            trace.num_records, what="trace")
+    mismatches: List[ReplayMismatch] = []
+    num_mismatches = 0
+    tenant_ids = trace.tenant_ids
+    for seq, priority in decisions:
+        golden = trace.golden_priority(seq)
+        if priority != golden:
+            num_mismatches += 1
+            if len(mismatches) < MAX_MISMATCH_EXAMPLES:
+                record = trace.records[seq]
+                mismatches.append(ReplayMismatch(
+                    row=seq,
+                    tenant_id=tenant_ids[int(record["tenant"])],
+                    time=float(record["time"]),
+                    golden_priority=golden,
+                    replayed_priority=priority,
+                ))
+    return ReplayReport(
+        num_records=trace.num_records,
+        num_served=int(served.sum()),
+        num_dropped=int(np.count_nonzero(served == 0)),
+        num_duplicates=int(np.count_nonzero(served > 1)),
+        num_mismatches=num_mismatches,
+        mismatches=mismatches,
+        counters=deterministic_counters(report),
+    )
+
+
+@dataclass
+class ReplayOutcome:
+    """What :func:`replay_trace` produced."""
+
+    trace: ServingTrace
+    result: object  #: ServingResult or ShardedServingResult
+    report: Optional[ReplayReport] = None
+
+
+def replay_trace(
+    trace: Union[str, Path, ServingTrace],
+    verify: bool = True,
+    max_batch: int = 64,
+    max_delay: float = 1e-3,
+    flow_cache_size: Optional[int] = 2048,
+    background_swaps: bool = False,
+    retrain_threshold: Optional[int] = None,
+    retrain_policy: Optional[RetrainPolicy] = None,
+    serving_workers: int = 1,
+    serving_backend: str = "process",
+) -> ReplayOutcome:
+    """Serve a recorded trace through the full stack and (optionally) verify.
+
+    ``trace`` is a path or an already-loaded :class:`ServingTrace`.  The
+    serving knobs are free to differ from the recording run — batch size,
+    cache size, shard count, even arming the retrain loop — because served
+    decisions depend only on (packet, epoch ruleset) while swaps stay
+    synchronous.  ``background_swaps=True`` trades that verifiability for
+    realistic swap timing; expect golden mismatches around update times.
+    """
+    from repro.harness.serving import run_serving
+
+    if not isinstance(trace, ServingTrace):
+        trace = read_trace(trace)
+    result = run_serving(
+        trace_path=trace,
+        max_batch=max_batch,
+        max_delay=max_delay,
+        flow_cache_size=flow_cache_size,
+        background_swaps=background_swaps,
+        record_batches=True,
+        retrain_threshold=retrain_threshold,
+        retrain_policy=retrain_policy,
+        serving_workers=serving_workers,
+        serving_backend=serving_backend,
+    )
+    report = verify_replay(trace, result.report) if verify else None
+    return ReplayOutcome(trace=trace, result=result, report=report)

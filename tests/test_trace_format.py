@@ -1,0 +1,269 @@
+"""Tests for the serving-trace format: round trips and file robustness.
+
+The format's two contracts are exercised here: (1) a recorded trace
+survives the write/read cycle field-for-field, and the decisions a replay
+makes equal the decisions the live run recorded; (2) malformed files —
+wrong magic, unsupported version, truncation, empty traces, dangling tenant
+references — fail with clean :mod:`repro.exceptions` errors instead of raw
+NumPy or JSON tracebacks.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.exceptions import ReproError, TraceError, TraceFormatError
+from repro.traces import (
+    EVENT_DTYPE,
+    RECORD_DTYPE,
+    RULE_DTYPE,
+    TRACE_FORMAT_VERSION,
+    TRACE_MAGIC,
+    ServingTrace,
+    TraceReader,
+    TraceWriter,
+    read_trace,
+    record_serving,
+    replay_trace,
+    write_trace,
+)
+
+_PREAMBLE = struct.Struct("<HI")
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """A small recorded scenario plus its on-disk file."""
+    path = tmp_path_factory.mktemp("traces") / "small.trace"
+    outcome = record_serving(path, num_tenants=2, families=("acl1",),
+                             num_rules=30, num_packets=300, num_flows=48,
+                             churn_events=2, seed=9)
+    return outcome
+
+
+def _raw_trace_bytes(header: dict, records, rules, events) -> bytes:
+    """Encode a trace file byte-for-byte (the wire-format contract)."""
+    payload = json.dumps(header, sort_keys=True).encode("utf-8")
+    buffer = io.BytesIO()
+    buffer.write(TRACE_MAGIC)
+    buffer.write(_PREAMBLE.pack(TRACE_FORMAT_VERSION, len(payload)))
+    buffer.write(payload)
+    for array in (records, rules, events):
+        np.save(buffer, array, allow_pickle=False)
+    return buffer.getvalue()
+
+
+class TestRoundTrip:
+    def test_reader_writer_round_trip_field_for_field(self, recorded,
+                                                      tmp_path):
+        trace = recorded.trace
+        path = TraceWriter(tmp_path / "rt.trace").write(trace)
+        loaded = TraceReader(path).read()
+        assert loaded == trace
+        # The dataclass __eq__ covers everything below; spell the fields
+        # out anyway so a future equality shortcut cannot hollow the test.
+        assert loaded.specs == trace.specs
+        assert loaded.seed == trace.seed
+        assert loaded.scenario == trace.scenario
+        assert np.array_equal(loaded.records, trace.records)
+        assert loaded.updates == trace.updates
+        for tenant_id, ruleset in trace.rulesets.items():
+            assert loaded.rulesets[tenant_id] == ruleset
+            assert loaded.rulesets[tenant_id].name == ruleset.name
+
+    def test_written_bytes_are_deterministic(self, recorded, tmp_path):
+        a = write_trace(recorded.trace, tmp_path / "a.trace")
+        b = write_trace(recorded.trace, tmp_path / "b.trace")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_workload_reconstruction_matches_source(self, recorded):
+        workload = recorded.trace.to_workload()
+        source = recorded.result.workload
+        assert workload.specs == source.specs
+        assert workload.updates == source.updates
+        assert len(workload.requests) == len(source.requests)
+        for rebuilt, original in zip(workload.requests, source.requests):
+            assert rebuilt == original
+
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        num_tenants=st.integers(min_value=1, max_value=3),
+        num_rules=st.integers(min_value=10, max_value=25),
+        num_packets=st.integers(min_value=40, max_value=120),
+        churn_events=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_generated_scenarios_record_then_replay_exactly(
+            self, tmp_path_factory, num_tenants, num_rules, num_packets,
+            churn_events, seed):
+        """record -> write -> read -> replay reproduces the live decisions."""
+        path = tmp_path_factory.mktemp("prop") / "scenario.trace"
+        outcome = record_serving(
+            path, num_tenants=num_tenants, families=("acl1", "ipc1"),
+            num_rules=num_rules, num_packets=num_packets,
+            num_flows=max(8, num_packets // 4), churn_events=churn_events,
+            seed=seed,
+        )
+        loaded = read_trace(path)
+        assert loaded == outcome.trace
+        replay = replay_trace(loaded)
+        assert replay.report.is_exact, \
+            f"replayed decisions diverged: {replay.report.mismatches}"
+
+
+class TestFileRobustness:
+    def test_errors_are_repro_errors(self):
+        assert issubclass(TraceFormatError, TraceError)
+        assert issubclass(TraceError, ReproError)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="could not be read"):
+            read_trace(tmp_path / "nope.trace")
+
+    def test_wrong_magic(self, recorded, tmp_path):
+        data = recorded.path.read_bytes()
+        bad = tmp_path / "magic.trace"
+        bad.write_bytes(b"NOTATRCE" + data[8:])
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            read_trace(bad)
+
+    def test_wrong_version(self, recorded, tmp_path):
+        data = bytearray(recorded.path.read_bytes())
+        data[8:10] = struct.pack("<H", TRACE_FORMAT_VERSION + 7)
+        bad = tmp_path / "version.trace"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError,
+                           match=f"version {TRACE_FORMAT_VERSION + 7}"):
+            read_trace(bad)
+
+    @pytest.mark.parametrize("keep", [4, 13, 60, -40])
+    def test_truncated_file(self, recorded, tmp_path, keep):
+        data = recorded.path.read_bytes()
+        bad = tmp_path / "short.trace"
+        bad.write_bytes(data[:keep])
+        with pytest.raises(TraceFormatError):
+            read_trace(bad)
+
+    def test_corrupt_header_json(self, recorded, tmp_path):
+        data = bytearray(recorded.path.read_bytes())
+        header_length = struct.unpack("<I", data[10:14])[0]
+        data[14:14 + header_length] = b"{" * header_length
+        bad = tmp_path / "header.trace"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="corrupt header"):
+            read_trace(bad)
+
+    def test_empty_trace(self, recorded, tmp_path):
+        trace = recorded.trace
+        header = trace.header()
+        header["counts"]["records"] = 0
+        bad = tmp_path / "empty.trace"
+        bad.write_bytes(_raw_trace_bytes(
+            header,
+            np.zeros(0, dtype=RECORD_DTYPE),
+            trace.rules_sidecar(),
+            trace.events_sidecar(),
+        ))
+        with pytest.raises(TraceFormatError, match="no packet records"):
+            read_trace(bad)
+
+    def test_record_referencing_unregistered_tenant(self, recorded, tmp_path):
+        trace = recorded.trace
+        records = trace.records.copy()
+        records["tenant"][0] = len(trace.specs) + 5
+        bad = tmp_path / "tenant.trace"
+        bad.write_bytes(_raw_trace_bytes(
+            trace.header(), records,
+            trace.rules_sidecar(), trace.events_sidecar(),
+        ))
+        with pytest.raises(TraceFormatError, match="tenant index"):
+            read_trace(bad)
+
+    def test_churn_referencing_unregistered_tenant(self, recorded, tmp_path):
+        trace = recorded.trace
+        events = trace.events_sidecar().copy()
+        events["tenant"][0] = len(trace.specs) + 3
+        bad = tmp_path / "churn.trace"
+        bad.write_bytes(_raw_trace_bytes(
+            trace.header(), trace.records,
+            trace.rules_sidecar(), events,
+        ))
+        with pytest.raises(TraceFormatError, match="tenant index"):
+            read_trace(bad)
+
+    def test_count_mismatch(self, recorded, tmp_path):
+        trace = recorded.trace
+        header = trace.header()
+        header["counts"]["records"] = trace.num_records + 1
+        bad = tmp_path / "counts.trace"
+        bad.write_bytes(_raw_trace_bytes(
+            header, trace.records,
+            trace.rules_sidecar(), trace.events_sidecar(),
+        ))
+        with pytest.raises(TraceFormatError, match="truncated or corrupt"):
+            read_trace(bad)
+
+    def test_non_finite_churn_event_time(self, recorded, tmp_path):
+        trace = recorded.trace
+        events = trace.events_sidecar().copy()
+        events["time"][0] = float("nan")
+        bad = tmp_path / "nan-event.trace"
+        bad.write_bytes(_raw_trace_bytes(
+            trace.header(), trace.records,
+            trace.rules_sidecar(), events,
+        ))
+        with pytest.raises(TraceFormatError, match="invalid time"):
+            read_trace(bad)
+
+    def test_unknown_rule_op_code(self, recorded, tmp_path):
+        trace = recorded.trace
+        rules = trace.rules_sidecar().copy()
+        churn_rows = np.flatnonzero(rules["event"] >= 0)
+        assert len(churn_rows), "fixture needs churn rows"
+        rules["op"][churn_rows[0]] = 7
+        bad = tmp_path / "op.trace"
+        bad.write_bytes(_raw_trace_bytes(
+            trace.header(), trace.records,
+            rules, trace.events_sidecar(),
+        ))
+        with pytest.raises(TraceFormatError, match="unknown op code"):
+            read_trace(bad)
+
+    def test_overlong_rule_name_rejected_instead_of_truncated(self, recorded,
+                                                              tmp_path):
+        from dataclasses import replace
+
+        from repro.rules import Rule
+        from repro.rules.ruleset import RuleSet
+
+        trace = recorded.trace
+        tenant = trace.specs[0].tenant_id
+        rules = list(trace.rulesets[tenant].rules)
+        rules[0] = Rule(ranges=rules[0].ranges, priority=rules[0].priority,
+                        name="x" * 80)
+        doctored = replace(
+            trace,
+            rulesets={**trace.rulesets,
+                      tenant: RuleSet(rules, name=trace.rulesets[tenant].name)},
+        )
+        with pytest.raises(TraceFormatError, match="80 characters"):
+            write_trace(doctored, tmp_path / "longname.trace")
+
+    def test_non_monotone_timestamps(self, recorded, tmp_path):
+        trace = recorded.trace
+        records = trace.records.copy()
+        records["time"][1] = records["time"][0] - 1.0
+        bad = tmp_path / "times.trace"
+        bad.write_bytes(_raw_trace_bytes(
+            trace.header(), records,
+            trace.rules_sidecar(), trace.events_sidecar(),
+        ))
+        with pytest.raises(TraceFormatError, match="non-decreasing"):
+            read_trace(bad)

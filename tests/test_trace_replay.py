@@ -1,0 +1,271 @@
+"""Golden-trace regression gates: replay checked-in traces, expect zero diffs.
+
+The traces under ``tests/data/`` were recorded under the determinism
+contract (synchronous swaps; see docs/traces.md), so the decisions they
+carry are a pure function of the trace clock.  Replaying them through the
+full serving stack — single-process and tenant-sharded, across mid-trace
+hot swaps and a forced retrain — must reproduce every decision bit-for-bit.
+A failure here means serving behaviour changed for recorded traffic: a real
+regression, not flake.
+
+Regenerate the fixtures only on a deliberate format/scenario change:
+``PYTHONPATH=src python scripts/make_golden_traces.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.harness.serving import run_serving
+from repro.serve.controller import RetrainPolicy
+from repro.traces import (
+    ServingTrace,
+    diff_traces,
+    read_trace,
+    record_serving,
+    replay_trace,
+    trace_from_run,
+)
+
+DATA_DIR = Path(__file__).parent / "data"
+GOLDEN_CHURN = DATA_DIR / "acl1_churn.trace"
+GOLDEN_RETRAIN = DATA_DIR / "acl1_retrain_churn.trace"
+
+
+@pytest.fixture(scope="module")
+def churn_trace():
+    return read_trace(GOLDEN_CHURN)
+
+
+@pytest.fixture(scope="module")
+def retrain_trace():
+    return read_trace(GOLDEN_RETRAIN)
+
+
+class TestGoldenReplay:
+    def test_single_process_replay_matches_golden(self, churn_trace):
+        outcome = replay_trace(churn_trace)
+        report = outcome.report
+        assert report.is_exact, f"mismatches: {report.mismatches}"
+        assert report.num_served == churn_trace.num_records
+        # The trace carries mid-run churn, so the replay crossed hot swaps.
+        assert report.counters["num_updates"] == 2
+        assert report.counters["swaps"] == 2
+
+    def test_sharded_replay_matches_golden(self, churn_trace):
+        outcome = replay_trace(churn_trace, serving_workers=2,
+                               serving_backend="thread")
+        assert outcome.report.is_exact, \
+            f"mismatches: {outcome.report.mismatches}"
+        assert outcome.result.num_shards == 2
+
+    def test_replay_across_forced_retrain(self, retrain_trace):
+        """Decisions stay golden even when the replay retrains mid-trace."""
+        policy = RetrainPolicy(timesteps=250, max_iterations=1,
+                               backend="serial", seed=retrain_trace.seed)
+        outcome = replay_trace(retrain_trace, retrain_threshold=12,
+                               retrain_policy=policy)
+        report = outcome.report
+        assert report.is_exact, f"mismatches: {report.mismatches}"
+        assert report.counters["retrains_installed"] >= 1
+
+    def test_replay_is_deterministic_across_runs(self, churn_trace):
+        """Acceptance gate: two replays agree on every telemetry counter."""
+        single = [replay_trace(churn_trace).report for _ in range(2)]
+        assert single[0].is_exact and single[1].is_exact
+        assert single[0].counters == single[1].counters
+        sharded = [
+            replay_trace(churn_trace, serving_workers=2,
+                         serving_backend="serial").report
+            for _ in range(2)
+        ]
+        assert sharded[0].is_exact and sharded[1].is_exact
+        assert sharded[0].counters == sharded[1].counters
+
+    def test_decisions_are_batching_invariant(self, churn_trace):
+        """Golden decisions depend on epochs, not how packets batch."""
+        for max_batch in (16, 64, 256):
+            outcome = replay_trace(churn_trace, max_batch=max_batch)
+            assert outcome.report.is_exact, \
+                f"max_batch={max_batch}: {outcome.report.mismatches}"
+
+
+class TestChurnDeterminism:
+    def test_run_serving_same_seed_produces_identical_epochs(self):
+        """Two runs with one seed agree on churn and per-tenant epochs.
+
+        The precondition for golden traces staying valid: the churn
+        schedule (and therefore every epoch boundary) must be a pure
+        function of the scenario seed.
+        """
+        def run():
+            result = run_serving(num_tenants=2, families=("acl1",),
+                                 num_rules=30, num_packets=400,
+                                 num_flows=48, churn_events=2,
+                                 background_swaps=False, seed=13)
+            updates = [(u.tenant_id, u.time, u.adds, u.removes)
+                       for u in result.workload.updates]
+            epochs = {t: result.registry.slot(t).epoch
+                      for t in result.registry.tenants()}
+            return updates, epochs
+
+        a, b = run(), run()
+        assert a[0] == b[0], "churn schedules diverged for one seed"
+        assert a[1] == b[1], "engine epochs diverged for one seed"
+
+
+class TestHarnessTracePath:
+    def test_run_serving_replays_from_file(self, churn_trace):
+        result = run_serving(trace_path=GOLDEN_CHURN,
+                             background_swaps=False, record_batches=True)
+        assert result.report.num_requests == churn_trace.num_records
+        exactness = result.verify_exactness()
+        assert exactness.is_exact
+        assert exactness.num_post_swap > 0
+
+    def test_trace_replay_defaults_retrains_to_serial(self, churn_trace):
+        """Armed-but-untriggered retrain loop on the replay default policy.
+
+        Without an explicit policy, a trace replay must build a *serial*
+        controller seeded from the trace (the determinism contract), not
+        the generation path's thread-backend default.
+        """
+        result = run_serving(trace_path=churn_trace,
+                             background_swaps=False, record_batches=True,
+                             retrain_threshold=10_000)
+        assert result.report.retrains_triggered == 0
+        assert result.verify_exactness().is_exact
+
+    def test_run_serving_accepts_loaded_trace(self, churn_trace):
+        result = run_serving(trace_path=churn_trace,
+                             background_swaps=False, record_batches=True,
+                             serving_workers=2, serving_backend="serial")
+        assert result.report.num_requests == churn_trace.num_records
+        assert result.verify_exactness().is_exact
+
+
+class TestRecording:
+    def test_sharded_recording_equals_single_process(self, tmp_path):
+        """The golden column is shard-invariant (seq survives the pickle)."""
+        scenario = dict(num_tenants=2, families=("acl1",), num_rules=30,
+                        num_packets=400, num_flows=64, churn_events=2,
+                        seed=4)
+        single = record_serving(tmp_path / "single.trace", **scenario)
+        sharded = record_serving(tmp_path / "sharded.trace",
+                                 serving_workers=2,
+                                 serving_backend="serial", **scenario)
+        assert np.array_equal(single.trace.records, sharded.trace.records)
+        assert single.trace.updates == sharded.trace.updates
+        assert single.trace.rulesets == sharded.trace.rulesets
+
+    def test_rerecorded_replay_diffs_clean(self, churn_trace, tmp_path):
+        """replay --output's trace is byte-equal in every compared field."""
+        outcome = replay_trace(churn_trace)
+        replayed = trace_from_run(outcome.result.workload,
+                                  outcome.result.report,
+                                  seed=churn_trace.seed,
+                                  scenario=churn_trace.scenario)
+        diff = diff_traces(churn_trace, replayed)
+        assert diff.identical, "\n".join(diff.lines())
+
+    def test_diff_flags_golden_divergence(self, churn_trace):
+        records = churn_trace.records.copy()
+        records["golden_matched"][5] = 1 - records["golden_matched"][5]
+        records["golden_priority"][7] += 1
+        other = ServingTrace(specs=churn_trace.specs,
+                             rulesets=churn_trace.rulesets,
+                             records=records,
+                             updates=churn_trace.updates,
+                             seed=churn_trace.seed,
+                             scenario=churn_trace.scenario)
+        diff = diff_traces(churn_trace, other)
+        assert not diff.identical
+        assert diff.num_golden_diffs == 2
+        assert diff.num_record_diffs == 0
+
+    def test_diff_names_differing_spec_fields(self, churn_trace):
+        from dataclasses import replace
+
+        other = ServingTrace(
+            specs=[replace(churn_trace.specs[0], binth=4)]
+            + churn_trace.specs[1:],
+            rulesets=churn_trace.rulesets,
+            records=churn_trace.records,
+            updates=churn_trace.updates,
+            seed=churn_trace.seed,
+            scenario=churn_trace.scenario,
+        )
+        diff = diff_traces(churn_trace, other)
+        assert not diff.identical
+        assert any("binth: 8 != 4" in line for line in diff.header_diffs)
+
+
+class TestTraceCLI:
+    def test_record_replay_verify_diff_loop(self, tmp_path, capsys):
+        from repro.cli import main
+
+        recorded = tmp_path / "cli.trace"
+        replayed = tmp_path / "cli-replayed.trace"
+        code = main(["trace", "record", "--tenants", "2",
+                     "--families", "acl1", "--num-rules", "30",
+                     "--num-packets", "300", "--num-flows", "48",
+                     "--churn-events", "1", "--seed", "2",
+                     "--output", str(recorded)])
+        assert code == 0
+        assert "golden column: 300/300" in capsys.readouterr().out
+
+        code = main(["trace", "replay", str(recorded), "--verify",
+                     "--output", str(replayed)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 dropped, 0 misclassified" in out
+
+        code = main(["trace", "diff", str(recorded), str(replayed)])
+        assert code == 0
+        assert "identical" in capsys.readouterr().out
+
+        code = main(["trace", "inspect", str(recorded), "--head", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenant-00-acl1" in out and "churn[0]" in out
+
+    def test_diff_reports_differences(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = tmp_path / "a.trace"
+        b = tmp_path / "b.trace"
+        record_serving(a, num_tenants=1, families=("acl1",), num_rules=20,
+                       num_packets=100, num_flows=16, churn_events=0,
+                       seed=1)
+        record_serving(b, num_tenants=1, families=("acl1",), num_rules=20,
+                       num_packets=100, num_flows=16, churn_events=0,
+                       seed=2)
+        code = main(["trace", "diff", str(a), str(b)])
+        assert code == 1
+        assert "differ" in capsys.readouterr().out
+
+    def test_record_reports_unwritable_output_cleanly(self, tmp_path,
+                                                      capsys):
+        from repro.cli import main
+
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file, not directory")
+        code = main(["trace", "record", "--tenants", "1",
+                     "--families", "acl1", "--num-rules", "15",
+                     "--num-packets", "50", "--num-flows", "8",
+                     "--churn-events", "0",
+                     "--output", str(blocker / "x.trace")])
+        assert code == 2
+        assert "could not be written" in capsys.readouterr().err
+
+    def test_replay_rejects_garbage_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bogus = tmp_path / "bogus.trace"
+        bogus.write_bytes(b"this is not a trace")
+        code = main(["trace", "replay", str(bogus), "--verify"])
+        assert code == 2
+        assert "bad magic" in capsys.readouterr().err

@@ -163,3 +163,32 @@ class TestScenario:
             ChurnConfig(num_events=-1)
         with pytest.raises(ValueError):
             ChurnConfig(window=(0.9, 0.1))
+
+    def test_churn_schedule_is_deterministic_for_a_seed(self):
+        """Same seed, same schedule — rule-for-rule, time-for-time.
+
+        This is the precondition golden traces rest on: if two
+        ``build_workload`` calls with one seed could disagree on the churn
+        schedule, a recorded trace's churn sidecar (and hence its golden
+        column) would drift from what a fresh run serves.
+        """
+        def draw():
+            specs = make_tenant_specs(2, num_rules=40, seed=6)
+            return build_workload(
+                specs, FlowTraceConfig(num_packets=600, num_flows=60, seed=6),
+                churn=ChurnConfig(num_events=3, adds_per_event=3,
+                                  removes_per_event=2),
+            )
+
+        a, b = draw(), draw()
+        assert a.updates == b.updates
+        assert [r for r in a.requests] == [r for r in b.requests]
+
+    def test_requests_carry_flow_ids_and_stream_positions(self):
+        specs = make_tenant_specs(2, num_rules=40, seed=1)
+        workload = build_workload(
+            specs, FlowTraceConfig(num_packets=300, num_flows=30, seed=1)
+        )
+        assert [r.seq for r in workload.requests] == \
+            list(range(len(workload.requests)))
+        assert all(r.flow_id >= 0 for r in workload.requests)
