@@ -24,6 +24,11 @@ Python (full reference with copy-pasteable invocations: docs/cli.md):
   from a file (``--verify`` asserts zero decision diffs vs the golden
   column), ``inspect`` prints a trace's header and contents, and ``diff``
   compares two traces field-for-field.
+* ``repro bench`` — machine-readable bench scorecards: ``compare`` gates a
+  ``BENCH_*.json`` record (written by the ``--json`` flags above, or by
+  ``examples/bench_scorecard.py``) against a checked-in baseline — strict
+  equality on deterministic counters, tolerance bands on timings — and
+  ``show`` pretty-prints one record.
 
 Run ``python -m repro.cli --help`` (or the installed ``repro`` script) for
 details.
@@ -118,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also time a pass with an N-flow LRU cache")
     bench.add_argument("--seed", type=int, default=0,
                        help="seed for ruleset generation and packet sampling")
+    bench.add_argument("--json", type=Path, default=None, metavar="PATH",
+                       help="also write the run as a BENCH_engine.json "
+                            "scorecard record (see `repro bench compare`)")
 
     serve = subparsers.add_parser(
         "serve-bench",
@@ -174,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=EXECUTOR_BACKENDS,
                        help="executor backend for serving shards")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--json", type=Path, default=None, metavar="PATH",
+                       help="also write the run as a BENCH_serve.json "
+                            "scorecard record (see `repro bench compare`)")
 
     trace = subparsers.add_parser(
         "trace",
@@ -261,6 +272,40 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("trace_b", type=Path)
     diff.add_argument("--max-examples", type=int, default=10,
                       help="per-record difference examples to print")
+
+    bench_group = subparsers.add_parser(
+        "bench",
+        help="compare and inspect BENCH_*.json scorecard records",
+    )
+    bench_sub = bench_group.add_subparsers(dest="bench_command", required=True)
+
+    bcompare = bench_sub.add_parser(
+        "compare",
+        help="gate a scorecard record against a baseline (exit 1 on "
+             "regression)",
+    )
+    bcompare.add_argument("run", type=Path,
+                          help="the BENCH_*.json record under test")
+    bcompare.add_argument("baseline", type=Path,
+                          help="the baseline record to gate against")
+    bcompare.add_argument("--timing-tolerance", type=float, default=0.25,
+                          metavar="FRAC",
+                          help="allowed fractional timing regression "
+                               "(default 0.25 = 25%%)")
+    bcompare.add_argument("--skip-timings", action="store_true",
+                          help="gate only the deterministic counters "
+                               "(for noisy/underprovisioned CI runners)")
+    bcompare.add_argument("--min-cpus", type=int, default=0, metavar="N",
+                          help="skip timing checks when the machine has "
+                               "fewer than N CPUs (0 = never skip)")
+    bcompare.add_argument("--ignore-config", action="store_true",
+                          help="do not fail on config-knob drift between "
+                               "run and baseline")
+
+    bshow = bench_sub.add_parser(
+        "show", help="pretty-print one scorecard record"
+    )
+    bshow.add_argument("record", type=Path, help="a BENCH_*.json file")
 
     return parser
 
@@ -397,6 +442,21 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
         print(f"flow cache: {result.cache_hit_rate:.1%} hit rate, "
               f"{result.cache_evictions} evictions "
               f"(capacity {args.flow_cache})")
+    if args.json is not None:
+        from repro.obs.bench import write_bench
+
+        record = result.bench_record(config={
+            "source": str(args.rules) if args.rules is not None
+            else args.seed_family,
+            "num_rules": len(ruleset),
+            "algorithm": args.algorithm,
+            "num_packets": args.num_packets,
+            "binth": args.binth,
+            "flow_cache": args.flow_cache,
+            "seed": args.seed,
+        })
+        write_bench(record, args.json)
+        print(f"wrote scorecard {args.json}")
     if result.mismatches:
         print(f"error: {result.mismatches} packets disagree with the "
               f"interpreter", file=sys.stderr)
@@ -468,15 +528,41 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             ["shard", "tenants", "requests", "wall"],
             result.shard_rows(),
         ))
+    exactness = None
     if args.verify:
         exactness = result.verify_exactness()
         print(f"differential check: {exactness.num_checked} packets "
               f"({exactness.num_post_swap} post-swap), "
               f"{exactness.num_mismatches} mismatches vs linear search")
-        if not exactness.is_exact:
-            print("error: served answers disagree with linear search",
-                  file=sys.stderr)
-            return 1
+    if args.json is not None:
+        from repro.harness.serving import serving_bench_record
+        from repro.obs.bench import write_bench
+
+        record = serving_bench_record(
+            result.report, name="serve-bench", exactness=exactness,
+            config={
+                "tenants": args.tenants,
+                "families": ",".join(families),
+                "num_rules": args.num_rules,
+                "num_packets": args.num_packets,
+                "num_flows": args.num_flows,
+                "algorithm": args.algorithm,
+                "binth": args.binth,
+                "batch_size": args.batch_size,
+                "flow_cache": args.flow_cache,
+                "churn_events": args.churn_events,
+                "sync_swaps": args.sync_swaps,
+                "verify": args.verify,
+                "retrain_threshold": args.retrain_threshold,
+                "serving_workers": args.serving_workers,
+                "seed": args.seed,
+            })
+        write_bench(record, args.json)
+        print(f"wrote scorecard {args.json}")
+    if exactness is not None and not exactness.is_exact:
+        print("error: served answers disagree with linear search",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -664,6 +750,82 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return _TRACE_COMMANDS[args.trace_command](args)
 
 
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.exceptions import BenchError
+    from repro.obs.bench import read_bench
+    from repro.obs.compare import compare_records
+
+    if args.timing_tolerance < 0:
+        print("error: --timing-tolerance must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        run = read_bench(args.run)
+        baseline = read_bench(args.baseline)
+    except (BenchError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    check_timings = not args.skip_timings
+    if check_timings and args.min_cpus > 0:
+        cpus = os.cpu_count() or 1
+        if cpus < args.min_cpus:
+            print(f"note: {cpus} CPU(s) < --min-cpus {args.min_cpus}; "
+                  f"timing checks skipped")
+            check_timings = False
+    report = compare_records(run, baseline,
+                             timing_tolerance=args.timing_tolerance,
+                             check_timings=check_timings,
+                             ignore_config=args.ignore_config)
+    print(f"comparing {args.run} ({run.name}) against "
+          f"{args.baseline} ({baseline.name})")
+    print(format_table(["kind", "metric", "baseline", "run", "status"],
+                       report.rows()))
+    if not report.ok:
+        print(f"error: {len(report.failures)} regression(s) vs the baseline",
+              file=sys.stderr)
+        return 1
+    timing_note = "" if check_timings else " (timings skipped)"
+    print(f"gate passed: {len(report.checks)} checks{timing_note}")
+    return 0
+
+
+def _cmd_bench_show(args: argparse.Namespace) -> int:
+    from repro.exceptions import BenchError
+    from repro.obs.bench import read_bench
+
+    try:
+        record = read_bench(args.record)
+    except (BenchError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"{args.record}: {record.name} (area {record.area}, "
+          f"schema v{record.schema_version})")
+    env = ", ".join(f"{k}={v}" for k, v in sorted(record.environment.items()))
+    print(f"environment: {env}")
+    if record.config:
+        print(format_table(["config", "value"],
+                           [[k, record.config[k]]
+                            for k in sorted(record.config)]))
+    print(format_table(["counter", "value"],
+                       [[k, record.counters[k]]
+                        for k in sorted(record.counters)]))
+    print(format_table(["timing", "value"],
+                       [[k, f"{record.timings[k]:,.6g}"]
+                        for k in sorted(record.timings)]))
+    return 0
+
+
+_BENCH_COMMANDS = {
+    "compare": _cmd_bench_compare,
+    "show": _cmd_bench_show,
+}
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    return _BENCH_COMMANDS[args.bench_command](args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "compare": _cmd_compare,
@@ -672,6 +834,7 @@ _COMMANDS = {
     "engine-bench": _cmd_engine_bench,
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 

@@ -40,6 +40,9 @@ class EngineBenchResult:
     cache_hit_rate: Optional[float] = None
     #: LRU evictions during the timed cached pass (None: no cache run).
     cache_evictions: Optional[int] = None
+    #: Flow-cache hits during the timed cached pass (None: no cache run).
+    #: Kept as a raw integer so scorecards can gate on exact equality.
+    cache_hits: Optional[int] = None
 
     @property
     def speedup(self) -> float:
@@ -47,6 +50,40 @@ class EngineBenchResult:
         if self.interpreter_pps <= 0:
             return float("inf")
         return self.compiled_pps / self.interpreter_pps
+
+    def bench_record(self, name: Optional[str] = None,
+                     config: Optional[dict] = None) -> "BenchRecord":
+        """This result as a versioned scorecard entry (area ``"engine"``).
+
+        Structural figures (packet/subtree/mismatch/cache counts) land in
+        ``counters`` and are gated at exact equality; rates and wall times
+        land in ``timings`` and are tolerance-banded.
+        """
+        from repro.obs.bench import BenchRecord
+
+        counters = {
+            "num_packets": self.num_packets,
+            "mismatches": self.mismatches,
+            "compiled_memory_bytes": self.compiled_memory_bytes,
+            "num_subtrees": self.num_subtrees,
+        }
+        if self.cache_hits is not None:
+            counters["cache_hits"] = self.cache_hits
+        if self.cache_evictions is not None:
+            counters["cache_evictions"] = self.cache_evictions
+        timings = {
+            "interpreter_pps": self.interpreter_pps,
+            "compiled_pps": self.compiled_pps,
+            "compile_seconds": self.compile_seconds,
+            "speedup": self.speedup,
+        }
+        if self.cached_pps is not None:
+            timings["cached_pps"] = self.cached_pps
+        if self.cache_hit_rate is not None:
+            timings["cache_hit_rate"] = self.cache_hit_rate
+        return BenchRecord(name=name or self.name, area="engine",
+                           config=config or {}, counters=counters,
+                           timings=timings)
 
     def rows(self) -> List[List[object]]:
         """Table rows for :func:`repro.harness.tables.format_table`."""
@@ -125,6 +162,7 @@ def bench_classifier(
         cached_pps = None
         cache_hit_rate = None
         cache_evictions = None
+        cache_hits = None
         if flow_cache_size is not None:
             cache = compiled.attach_flow_cache(flow_cache_size)
             compiled.lookup_batch(values)  # warm the cache
@@ -139,6 +177,7 @@ def bench_classifier(
             cached_pps = len(packets) / max(cached_seconds, 1e-12)
             cache_hit_rate = cache.stats.hit_rate
             cache_evictions = cache.stats.evictions
+            cache_hits = cache.stats.hits
             compiled.flow_cache = None
 
         mismatches = 0
@@ -164,4 +203,5 @@ def bench_classifier(
         mismatches=mismatches,
         cache_hit_rate=cache_hit_rate,
         cache_evictions=cache_evictions,
+        cache_hits=cache_hits,
     )

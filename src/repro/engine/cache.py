@@ -16,6 +16,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.obs.serialize import stable_dict
+
 #: Default number of flows kept by a cache when no capacity is given.
 DEFAULT_FLOW_CACHE_SIZE = 4096
 
@@ -54,13 +56,13 @@ class FlowCacheStats:
         return self
 
     def as_dict(self) -> dict:
-        return {
+        return stable_dict({
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
-        }
+        })
 
 
 class FlowCache:

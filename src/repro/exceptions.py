@@ -45,3 +45,12 @@ class TraceFormatError(TraceError):
     """A trace file is malformed: bad magic, unsupported version, truncated
     payload, or internally inconsistent contents (e.g. a packet record
     referencing a tenant the trace never declared)."""
+
+
+class BenchError(ReproError):
+    """A benchmark scorecard could not be produced or compared."""
+
+
+class BenchFormatError(BenchError):
+    """A ``BENCH_*.json`` record is malformed: not JSON, an unsupported
+    schema version, missing fields, or non-numeric metric values."""

@@ -387,12 +387,37 @@ class ThroughputResult:
         return float(np.median([r.speedup for r in self.rows])) \
             if self.rows else 0.0
 
+    def bench_record(self, name: str = "throughput",
+                     config: Optional[dict] = None) -> "BenchRecord":
+        """This sweep as a scorecard entry (area ``"engine"``).
+
+        Per-row structural figures (memory, subtree counts) are exact-gated
+        counters keyed ``<algorithm>:<classifier>:<metric>``; rates are
+        tolerance-banded timings under the same keys.
+        """
+        from repro.obs.bench import BenchRecord
+
+        counters: Dict[str, int] = {"num_packets": self.num_packets,
+                                    "num_rows": len(self.rows)}
+        timings: Dict[str, float] = {"median_speedup": self.median_speedup()}
+        for row in self.rows:
+            key = f"{row.algorithm}:{row.classifier}"
+            counters[f"{key}:compiled_memory_bytes"] = \
+                row.compiled_memory_bytes
+            counters[f"{key}:num_subtrees"] = row.num_subtrees
+            timings[f"{key}:interpreter_pps"] = row.interpreter_pps
+            timings[f"{key}:compiled_pps"] = row.compiled_pps
+            timings[f"{key}:speedup"] = row.speedup
+        return BenchRecord(name=name, area="engine", config=config or {},
+                           counters=counters, timings=timings)
+
 
 def run_throughput(
     scale: ExperimentScale = TINY,
     specs: Optional[Sequence[ClassifierSpec]] = None,
     num_packets: int = 20_000,
     algorithms: Optional[Sequence[str]] = None,
+    bench_path: Optional[str] = None,
 ) -> ThroughputResult:
     """Measure interpreter vs compiled packets/sec for the baselines.
 
@@ -429,7 +454,17 @@ def run_throughput(
                     num_subtrees=bench.num_subtrees,
                 )
             )
-    return ThroughputResult(rows=rows, num_packets=num_packets)
+    result = ThroughputResult(rows=rows, num_packets=num_packets)
+    if bench_path is not None:
+        from repro.obs.bench import write_bench
+
+        write_bench(result.bench_record(config={
+            "num_packets": num_packets,
+            "algorithms": sorted(builders),
+            "leaf_threshold": scale.leaf_threshold,
+            "seed": scale.seed,
+        }), bench_path)
+    return result
 
 
 # --------------------------------------------------------------------------- #
@@ -474,6 +509,29 @@ class ScalingResult:
                 return point.speedup
         raise KeyError(f"no scaling point for {workers} workers")
 
+    def bench_record(self, name: str = "scaling",
+                     config: Optional[dict] = None) -> "BenchRecord":
+        """This sweep as a scorecard entry (area ``"scaling"``).
+
+        Only the sweep shape is deterministic; every throughput figure is a
+        tolerance-banded timing keyed ``w<workers>:<metric>``.
+        """
+        from repro.obs.bench import BenchRecord
+
+        counters = {
+            "num_points": len(self.points),
+            "rounds": self.rounds,
+            "timesteps_per_round": self.timesteps_per_round,
+        }
+        timings: Dict[str, float] = {}
+        for point in self.points:
+            key = f"w{point.workers}"
+            timings[f"{key}:timesteps_per_sec"] = point.timesteps_per_sec
+            timings[f"{key}:rollouts_per_sec"] = point.rollouts_per_sec
+            timings[f"{key}:speedup"] = point.speedup
+        return BenchRecord(name=name, area="scaling", config=config or {},
+                           counters=counters, timings=timings)
+
 
 def run_scaling(
     scale: ExperimentScale = TINY,
@@ -481,6 +539,7 @@ def run_scaling(
     rounds: int = 3,
     spec: Optional[ClassifierSpec] = None,
     neurocuts_config: Optional[NeuroCutsConfig] = None,
+    bench_path: Optional[str] = None,
 ) -> ScalingResult:
     """Figure 7: rollout-collection throughput vs parallel workers.
 
@@ -524,12 +583,21 @@ def run_scaling(
                     min(points, key=lambda p: p.workers))
     for point in points:
         point.speedup = point.timesteps_per_sec / baseline.timesteps_per_sec
-    return ScalingResult(
+    result = ScalingResult(
         classifier=spec.label,
         points=points,
         rounds=rounds,
         timesteps_per_round=base_config.timesteps_per_batch,
     )
+    if bench_path is not None:
+        from repro.obs.bench import write_bench
+
+        write_bench(result.bench_record(config={
+            "classifier": spec.label,
+            "worker_counts": [int(w) for w in worker_counts],
+            "rounds": rounds,
+        }), bench_path)
+    return result
 
 
 def replace_config(config: NeuroCutsConfig, **overrides) -> NeuroCutsConfig:

@@ -117,6 +117,36 @@ def _tenant_rows(per_tenant: Dict[str, dict]) -> List[List[object]]:
     return rows
 
 
+def serving_bench_record(report: ServingReport, name: str,
+                         config: Optional[dict] = None,
+                         exactness: Optional[ExactnessReport] = None
+                         ) -> "BenchRecord":
+    """A serving run as a versioned scorecard entry (area ``"serve"``).
+
+    The deterministic telemetry (:meth:`ServingReport.deterministic_counters`)
+    — plus the differential-exactness tallies when provided — lands in
+    ``counters`` and is gated at exact equality; throughput and latency land
+    in ``timings`` and are tolerance-banded.  Shared by the single-process
+    and sharded result types so the two produce schema-identical records.
+    """
+    from repro.obs.bench import BenchRecord
+
+    counters = dict(report.deterministic_counters())
+    if exactness is not None:
+        counters["exact_checked"] = exactness.num_checked
+        counters["exact_mismatches"] = exactness.num_mismatches
+        counters["exact_post_swap"] = exactness.num_post_swap
+    timings = {
+        "throughput_pps": report.pps,
+        "wall_seconds": report.wall_seconds,
+        "engine_seconds": report.engine_seconds,
+    }
+    for pct in sorted(report.latency_percentiles):
+        timings[f"latency_p{pct:g}_ms"] = report.latency_ms(pct)
+    return BenchRecord(name=name, area="serve", config=config or {},
+                       counters=counters, timings=timings)
+
+
 def _check_batches(batches: Sequence[ServedBatch],
                    epoch_rulesets: Dict[str, List[RuleSet]]
                    ) -> ExactnessReport:
@@ -171,6 +201,15 @@ class ServingResult:
             for tenant_id in self.registry.tenants()
         }
         return _check_batches(self.report.batches, epoch_rulesets)
+
+    def bench_record(self, name: str = "serve",
+                     config: Optional[dict] = None,
+                     verify: bool = False) -> "BenchRecord":
+        """This run as a scorecard entry; ``verify=True`` folds in the
+        differential-exactness tallies (needs ``record_batches=True``)."""
+        exactness = self.verify_exactness() if verify else None
+        return serving_bench_record(self.report, name=name, config=config,
+                                    exactness=exactness)
 
 
 @dataclass
@@ -230,6 +269,15 @@ class ShardedServingResult:
         for outcome in self.outcomes:
             epoch_rulesets.update(outcome.epoch_rulesets)
         return _check_batches(self.report.batches, epoch_rulesets)
+
+    def bench_record(self, name: str = "serve",
+                     config: Optional[dict] = None,
+                     verify: bool = False) -> "BenchRecord":
+        """This run as a scorecard entry; ``verify=True`` folds in the
+        differential-exactness tallies (needs ``record_batches=True``)."""
+        exactness = self.verify_exactness() if verify else None
+        return serving_bench_record(self.report, name=name, config=config,
+                                    exactness=exactness)
 
 
 def run_serving(

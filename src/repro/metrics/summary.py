@@ -13,6 +13,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.serialize import stable_dict
+
 
 def improvement(ours: float, baseline: float) -> float:
     """Relative improvement ``1 - ours/baseline`` (positive = we are better)."""
@@ -40,13 +42,13 @@ class ImprovementSummary:
     per_classifier: Dict[str, float]
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        return stable_dict({
             "median": self.median,
             "mean": self.mean,
             "best": self.best,
             "worst": self.worst,
             "win_fraction": self.win_fraction,
-        }
+        })
 
 
 def summarize_improvements(ours: Mapping[str, float],

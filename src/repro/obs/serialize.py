@@ -1,0 +1,57 @@
+"""Stable-key serialization: one helper behind every ``as_dict()``.
+
+Telemetry classes across the repo (:class:`~repro.serve.engines.SwapStats`,
+:class:`~repro.serve.controller.RetrainStats`,
+:class:`~repro.engine.cache.FlowCacheStats`, the tree/classifier stats, the
+metric summaries) each expose an ``as_dict()`` view.  Before this module
+every one of them hand-rolled its dict, which made key order an accident
+and let numpy scalar types leak into JSON payloads.  :func:`stable_dict` is
+the single choke point: keys are sorted, values are coerced to plain JSON
+types, and nested mappings/sequences are normalised recursively — so two
+serializations of equal telemetry are byte-identical once dumped with
+``json.dumps``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+
+def _coerce(value: Any) -> Any:
+    """Normalise one value to a plain JSON-serialisable Python type."""
+    if isinstance(value, (np.generic,)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_coerce(v) for v in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(k): _coerce(v) for k, v in sorted(value.items(),
+                                                      key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_coerce(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    # Dataclass-style telemetry objects serialise through their own view.
+    as_dict = getattr(value, "as_dict", None)
+    if callable(as_dict):
+        return _coerce(as_dict())
+    raise TypeError(
+        f"cannot serialise {type(value).__name__!r} into a stable dict"
+    )
+
+
+def stable_dict(mapping: Mapping[str, Any]) -> Dict[str, Any]:
+    """A plain dict with sorted keys and JSON-native values.
+
+    Insertion order of the returned dict *is* sorted-key order, so
+    ``json.dumps`` produces identical bytes for equal telemetry without
+    needing ``sort_keys=True`` at every call site (though passing it stays
+    harmless).  Nested mappings are normalised the same way; numpy scalars
+    and arrays are converted to their Python equivalents.
+    """
+    return {str(key): _coerce(value)
+            for key, value in sorted(mapping.items(),
+                                     key=lambda kv: str(kv[0]))}

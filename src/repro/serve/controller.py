@@ -37,6 +37,7 @@ from repro.neurocuts.service import (
     default_retrain_config,
     run_retrain,
 )
+from repro.obs.serialize import stable_dict
 from repro.rules.ruleset import RuleSet
 from repro.serve.registry import TenantRegistry, UnknownTenantError
 
@@ -110,8 +111,20 @@ class RetrainStats:
     #: Wall seconds each *installed* job spent training, in install order.
     train_seconds: List[float] = field(default_factory=list)
 
+    def merge(self, other: "RetrainStats") -> "RetrainStats":
+        """Accumulate another controller's counters (across shards).
+
+        ``train_seconds`` concatenates, so merged means/percentiles are
+        exact over the union of installed jobs.
+        """
+        self.triggered += other.triggered
+        self.installed += other.installed
+        self.discarded += other.discarded
+        self.train_seconds.extend(other.train_seconds)
+        return self
+
     def as_dict(self) -> dict:
-        return {
+        return stable_dict({
             "triggered": self.triggered,
             "installed": self.installed,
             "discarded": self.discarded,
@@ -119,7 +132,7 @@ class RetrainStats:
                 sum(self.train_seconds) / len(self.train_seconds)
                 if self.train_seconds else 0.0
             ),
-        }
+        })
 
 
 @dataclass
@@ -263,4 +276,8 @@ class RetrainController:
         slot.adopt_classifier(classifier, base_ruleset=job.base_ruleset)
         self.stats.installed += 1
         self.stats.train_seconds.append(response.wall_seconds)
+        # The retrain-job phase span: training ran off-thread, so the job's
+        # own wall time is observed at install rather than wrapped inline.
+        slot.metrics.timing("serve.retrain_seconds").observe(
+            response.wall_seconds)
         return True

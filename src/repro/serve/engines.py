@@ -23,6 +23,8 @@ from repro.engine.cache import DEFAULT_FLOW_CACHE_SIZE, FlowCacheStats
 from repro.engine.compile import compile_classifier
 from repro.engine.dispatch import CompiledClassifier
 from repro.neurocuts.updates import IncrementalUpdater
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.serialize import stable_dict
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
 from repro.tree.lookup import TreeClassifier
@@ -48,8 +50,22 @@ class SwapStats:
     #: Discarded shadow engines (compiled from a tree version that moved on).
     stale_builds: int = 0
 
+    def merge(self, other: "SwapStats") -> "SwapStats":
+        """Accumulate another slot's counters (telemetry across tenants/shards).
+
+        ``build_seconds`` concatenates, so the merged mean (and any
+        percentile a caller computes) is exact over the union — the same
+        raw-sample contract as the sharded latency merge.
+        """
+        self.swaps += other.swaps
+        self.stalls += other.stalls
+        self.stall_seconds += other.stall_seconds
+        self.build_seconds.extend(other.build_seconds)
+        self.stale_builds += other.stale_builds
+        return self
+
     def as_dict(self) -> dict:
-        return {
+        return stable_dict({
             "swaps": self.swaps,
             "stalls": self.stalls,
             "stall_seconds": self.stall_seconds,
@@ -58,7 +74,7 @@ class SwapStats:
                 sum(self.build_seconds) / len(self.build_seconds)
                 if self.build_seconds else 0.0
             ),
-        }
+        })
 
 
 class EngineSlot:
@@ -100,6 +116,7 @@ class EngineSlot:
         flow_cache_size: Optional[int] = DEFAULT_FLOW_CACHE_SIZE,
         background: bool = True,
         retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.tenant_id = tenant_id
         self.classifier = classifier
@@ -107,14 +124,24 @@ class EngineSlot:
         self.background = background
         self.retrain_threshold = retrain_threshold
         self.swap_stats = SwapStats()
+        #: Phase-timer spans land here; a registry-owned MetricsRegistry is
+        #: shared across slots (see TenantRegistry), else the slot owns one.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # The builder thread records compile spans, so the series must
+        # exist before any build starts (list.append is GIL-atomic; series
+        # creation is not).
+        self._compile_timing = self.metrics.timing("engine.compile_seconds")
+        self._install_timing = self.metrics.timing(
+            "serve.swap_install_seconds")
         #: Flow-cache counters of engines already retired by swaps.
         self.retired_cache_stats = FlowCacheStats()
         self._updaters = [
             IncrementalUpdater(tree, retrain_threshold=retrain_threshold)
             for tree in classifier.trees
         ]
-        self._active = compile_classifier(classifier,
-                                          flow_cache_size=flow_cache_size)
+        with self.metrics.span("engine.compile_seconds"):
+            self._active = compile_classifier(classifier,
+                                              flow_cache_size=flow_cache_size)
         self._rulesets: List[RuleSet] = [classifier.ruleset]
         self.epoch = 0
         self._builder: Optional[threading.Thread] = None
@@ -308,6 +335,7 @@ class EngineSlot:
                 self.classifier, flow_cache_size=self.flow_cache_size
             )
             self._shadow_build_seconds = time.perf_counter() - started
+            self._compile_timing.observe(self._shadow_build_seconds)
             self._shadow = shadow
             self._shadow_ruleset = target_ruleset
             self._shadow_versions = target_versions
@@ -343,6 +371,7 @@ class EngineSlot:
             self.swap_stats.stale_builds += 1
             self._start_build(self.classifier.ruleset)
             return
+        install_start = time.perf_counter()
         if self._active.flow_cache is not None:
             # The retiring engine's cached flows are invalidated by the swap
             # (counted via clear()), then its counters fold into the totals.
@@ -353,3 +382,4 @@ class EngineSlot:
         self.epoch += 1
         self.swap_stats.swaps += 1
         self.swap_stats.build_seconds.append(self._shadow_build_seconds)
+        self._install_timing.observe(time.perf_counter() - install_start)

@@ -14,9 +14,11 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.baselines import default_baselines
 from repro.engine.cache import DEFAULT_FLOW_CACHE_SIZE
+from repro.obs.metrics import MetricsRegistry
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
-from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD, EngineSlot
+from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD, EngineSlot, \
+    SwapStats
 from repro.tree.lookup import TreeClassifier
 
 
@@ -40,10 +42,15 @@ class TenantRegistry:
         default_flow_cache_size: Optional[int] = DEFAULT_FLOW_CACHE_SIZE,
         background_swaps: bool = True,
         default_retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.default_flow_cache_size = default_flow_cache_size
         self.background_swaps = background_swaps
         self.default_retrain_threshold = default_retrain_threshold
+        #: Shared phase-timer registry: every slot this registry creates
+        #: records compile/install/retrain spans here, so one merge covers
+        #: the whole control plane.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._slots: "OrderedDict[str, EngineSlot]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
@@ -108,8 +115,10 @@ class TenantRegistry:
             flow_cache_size=flow_cache_size,
             background=self.background_swaps,
             retrain_threshold=retrain_threshold,
+            metrics=self.metrics,
         )
         self._slots[tenant_id] = slot
+        self.metrics.gauge("serve.tenants").set(len(self._slots))
         return slot
 
     def deregister(self, tenant_id: str) -> EngineSlot:
@@ -143,6 +152,13 @@ class TenantRegistry:
     # ------------------------------------------------------------------ #
     # Telemetry
     # ------------------------------------------------------------------ #
+
+    def swap_stats(self) -> SwapStats:
+        """Swap counters merged across every registered tenant's slot."""
+        merged = SwapStats()
+        for slot in self._slots.values():
+            merged.merge(slot.swap_stats)
+        return merged
 
     def telemetry(self) -> Dict[str, dict]:
         """Per-tenant cache, swap, and retrain counters, keyed by tenant id."""

@@ -16,19 +16,21 @@ are seconds, and their sum is the reported request latency.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, \
     Tuple
 
 import numpy as np
 
 from repro.engine.layout import packets_to_array
+from repro.obs.metrics import MetricsRegistry
 from repro.rules.rule import Rule
 from repro.serve.batcher import BatchPolicy, MicroBatcher, Request
+from repro.serve.engines import SwapStats
 from repro.serve.registry import TenantRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.serve.controller import RetrainController
+    from repro.serve.controller import RetrainController, RetrainStats
 
 #: Percentiles reported by default (p50 / p90 / p99).
 LATENCY_PERCENTILES: Tuple[float, ...] = (50.0, 90.0, 99.0)
@@ -96,6 +98,16 @@ class ServingReport:
     retrains_triggered: int = 0
     retrains_installed: int = 0
     retrains_discarded: int = 0
+    #: The run's phase-timer registry (compile / swap-install / retrain /
+    #: batch-flush / queue-wait spans plus request counters).  Merged
+    #: exactly across shards by ``merge_reports``.
+    metrics: Optional[MetricsRegistry] = None
+    #: Swap counters merged over every tenant slot (raw build_seconds kept,
+    #: so cross-shard merges stay exact).
+    swap_stats: Optional[SwapStats] = None
+    #: Retrain-controller counters with raw train_seconds (None when no
+    #: controller was attached).
+    retrain_stats: Optional["RetrainStats"] = None
 
     @property
     def pps(self) -> float:
@@ -110,6 +122,30 @@ class ServingReport:
     def latency_ms(self, percentile: float) -> float:
         """A reported latency percentile, in milliseconds."""
         return self.latency_percentiles[percentile] * 1e3
+
+    def deterministic_counters(self) -> Dict[str, int]:
+        """The telemetry counters that must be identical across replays.
+
+        Wall-clock figures (pps, latencies, build/train seconds) are
+        excluded on purpose: they measure the machine, not the run.  Under
+        the determinism contract (synchronous swaps, fixed seed) everything
+        here is a pure function of the workload, which is what lets bench
+        scorecards gate on exact equality.
+        """
+        return {
+            "num_requests": self.num_requests,
+            "num_batches": self.num_batches,
+            "num_updates": self.num_updates,
+            "swaps": self.swaps,
+            "swap_stalls": self.swap_stalls,
+            "cache_hits": self.cache_hits,
+            "cache_lookups": self.cache_lookups,
+            "cache_evictions": self.cache_evictions,
+            "cache_invalidations": self.cache_invalidations,
+            "retrains_triggered": self.retrains_triggered,
+            "retrains_installed": self.retrains_installed,
+            "retrains_discarded": self.retrains_discarded,
+        }
 
     def rows(self) -> List[List[object]]:
         """Summary rows for :func:`repro.harness.tables.format_table`."""
@@ -202,6 +238,11 @@ class ClassificationService:
         num_batches = 0
         num_served = 0
         engine_seconds = 0.0
+        metrics = self.registry.metrics
+        flush_timing = metrics.timing("serve.batch_flush_seconds")
+        queue_timing = metrics.timing("serve.queue_wait_seconds")
+        request_counter = metrics.counter("serve.requests")
+        batch_counter = metrics.counter("serve.batches")
 
         def execute(tenant_id: str, batch: List[Request],
                     flush_time: float) -> None:
@@ -232,7 +273,11 @@ class ClassificationService:
             engine_seconds += wall
             num_batches += 1
             num_served += len(batch)
+            flush_timing.observe(wall)
+            batch_counter.inc()
+            request_counter.inc(len(batch))
             for request in batch:
+                queue_timing.observe(flush_time - request.time)
                 latencies.append((flush_time - request.time) + wall)
             if self.record_batches:
                 recorded.append(ServedBatch(
@@ -311,6 +356,12 @@ class ClassificationService:
         }
         retrain_stats = self.retrain_controller.stats \
             if self.retrain_controller is not None else None
+        if retrain_stats is not None:
+            # Snapshot (the controller keeps mutating its own instance), with
+            # the raw-sample list copied so downstream merges can't alias it.
+            retrain_stats = replace(
+                retrain_stats, train_seconds=list(retrain_stats.train_seconds)
+            )
         return ServingReport(
             num_requests=num_served,
             num_batches=num_batches,
@@ -334,4 +385,7 @@ class ClassificationService:
             retrains_triggered=retrain_stats.triggered if retrain_stats else 0,
             retrains_installed=retrain_stats.installed if retrain_stats else 0,
             retrains_discarded=retrain_stats.discarded if retrain_stats else 0,
+            metrics=metrics,
+            swap_stats=self.registry.swap_stats(),
+            retrain_stats=retrain_stats,
         )

@@ -33,10 +33,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.executors import EXECUTOR_BACKENDS, make_executor
+from repro.obs.metrics import MetricsRegistry
 from repro.rules.ruleset import RuleSet
 from repro.serve.batcher import BatchPolicy, Request
-from repro.serve.controller import RetrainController, RetrainPolicy
-from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD
+from repro.serve.controller import RetrainController, RetrainPolicy, \
+    RetrainStats
+from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD, SwapStats
 from repro.serve.registry import TenantRegistry
 from repro.serve.service import (
     LATENCY_PERCENTILES,
@@ -222,6 +224,22 @@ def merge_reports(outcomes: Sequence[ShardOutcome],
     if any(r.batches is not None for r in reports):
         batches = [b for r in reports if r.batches is not None
                    for b in r.batches]
+    # Metrics registries, swap stats, and retrain stats all merge under the
+    # same raw-sample contract as the latencies above: counters sum, timing
+    # series concatenate, so the merged summary equals a single-process run.
+    metrics = MetricsRegistry.merged(
+        [r.metrics for r in reports if r.metrics is not None]
+    )
+    swap_stats = SwapStats()
+    for r in reports:
+        if r.swap_stats is not None:
+            swap_stats.merge(r.swap_stats)
+    retrain_stats = None
+    if any(r.retrain_stats is not None for r in reports):
+        retrain_stats = RetrainStats()
+        for r in reports:
+            if r.retrain_stats is not None:
+                retrain_stats.merge(r.retrain_stats)
     return ServingReport(
         num_requests=num_requests,
         num_batches=num_batches,
@@ -244,6 +262,9 @@ def merge_reports(outcomes: Sequence[ShardOutcome],
         retrains_triggered=sum(r.retrains_triggered for r in reports),
         retrains_installed=sum(r.retrains_installed for r in reports),
         retrains_discarded=sum(r.retrains_discarded for r in reports),
+        metrics=metrics,
+        swap_stats=swap_stats,
+        retrain_stats=retrain_stats,
     )
 
 

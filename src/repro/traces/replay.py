@@ -36,24 +36,11 @@ MAX_MISMATCH_EXAMPLES = 10
 def deterministic_counters(report: ServingReport) -> Dict[str, int]:
     """The telemetry counters that must be identical across replays.
 
-    Wall-clock figures (pps, latencies, build/train seconds) are excluded
-    on purpose: they measure the machine, not the run.  Everything here is
-    a pure function of the trace under the determinism contract.
+    The canonical definition now lives on
+    :meth:`~repro.serve.service.ServingReport.deterministic_counters` (bench
+    scorecards gate on it too); this alias keeps the original call site.
     """
-    return {
-        "num_requests": report.num_requests,
-        "num_batches": report.num_batches,
-        "num_updates": report.num_updates,
-        "swaps": report.swaps,
-        "swap_stalls": report.swap_stalls,
-        "cache_hits": report.cache_hits,
-        "cache_lookups": report.cache_lookups,
-        "cache_evictions": report.cache_evictions,
-        "cache_invalidations": report.cache_invalidations,
-        "retrains_triggered": report.retrains_triggered,
-        "retrains_installed": report.retrains_installed,
-        "retrains_discarded": report.retrains_discarded,
-    }
+    return report.deterministic_counters()
 
 
 @dataclass(frozen=True)
@@ -147,6 +134,33 @@ class ReplayOutcome:
     result: object  #: ServingResult or ShardedServingResult
     report: Optional[ReplayReport] = None
 
+    def bench_record(self, name: str,
+                     config: Optional[dict] = None) -> "BenchRecord":
+        """This replay as a versioned scorecard entry (area ``"replay"``).
+
+        Counters carry the deterministic telemetry plus the verification
+        tallies (dropped / duplicates / golden mismatches — all gated at
+        exact equality); timings carry the machine-dependent figures.
+        """
+        from repro.obs.bench import BenchRecord
+
+        serving_report: ServingReport = self.result.report
+        counters = dict(serving_report.deterministic_counters())
+        counters["num_records"] = self.trace.num_records
+        if self.report is not None:
+            counters["verify_dropped"] = self.report.num_dropped
+            counters["verify_duplicates"] = self.report.num_duplicates
+            counters["verify_mismatches"] = self.report.num_mismatches
+        timings = {
+            "throughput_pps": serving_report.pps,
+            "wall_seconds": serving_report.wall_seconds,
+            "engine_seconds": serving_report.engine_seconds,
+        }
+        for pct in sorted(serving_report.latency_percentiles):
+            timings[f"latency_p{pct:g}_ms"] = serving_report.latency_ms(pct)
+        return BenchRecord(name=name, area="replay", config=config or {},
+                           counters=counters, timings=timings)
+
 
 def replay_trace(
     trace: Union[str, Path, ServingTrace],
@@ -159,6 +173,7 @@ def replay_trace(
     retrain_policy: Optional[RetrainPolicy] = None,
     serving_workers: int = 1,
     serving_backend: str = "process",
+    bench_path: Optional[Union[str, Path]] = None,
 ) -> ReplayOutcome:
     """Serve a recorded trace through the full stack and (optionally) verify.
 
@@ -168,10 +183,15 @@ def replay_trace(
     decisions depend only on (packet, epoch ruleset) while swaps stay
     synchronous.  ``background_swaps=True`` trades that verifiability for
     realistic swap timing; expect golden mismatches around update times.
+
+    ``bench_path`` additionally writes the run as a ``BENCH_replay.json``
+    scorecard (see :mod:`repro.obs.bench`).
     """
     from repro.harness.serving import run_serving
 
+    trace_label: Optional[str] = None
     if not isinstance(trace, ServingTrace):
+        trace_label = Path(trace).stem
         trace = read_trace(trace)
     result = run_serving(
         trace_path=trace,
@@ -186,4 +206,20 @@ def replay_trace(
         serving_backend=serving_backend,
     )
     report = verify_replay(trace, result.report) if verify else None
-    return ReplayOutcome(trace=trace, result=result, report=report)
+    outcome = ReplayOutcome(trace=trace, result=result, report=report)
+    if bench_path is not None:
+        from repro.obs.bench import write_bench
+
+        record = outcome.bench_record(
+            name=f"replay:{trace_label or f'seed{trace.seed}'}",
+            config={
+                "max_batch": max_batch,
+                "max_delay": max_delay,
+                "flow_cache_size": flow_cache_size,
+                "background_swaps": background_swaps,
+                "verify": verify,
+                "serving_workers": serving_workers,
+            },
+        )
+        write_bench(record, bench_path)
+    return outcome

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.serialize import stable_dict
 from repro.rules.packet import Packet
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
@@ -41,14 +42,14 @@ class ClassifierStats:
     depth: int
 
     def as_dict(self) -> dict:
-        return {
+        return stable_dict({
             "classification_time": self.classification_time,
             "memory_bytes": self.memory_bytes,
             "bytes_per_rule": self.bytes_per_rule,
             "num_trees": self.num_trees,
             "num_nodes": self.num_nodes,
             "depth": self.depth,
-        }
+        })
 
 
 class TreeClassifier:

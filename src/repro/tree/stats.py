@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro.obs.serialize import stable_dict
 from repro.tree.node import Node
 from repro.tree.tree import DecisionTree
 
@@ -60,8 +61,8 @@ class TreeStats:
     rule_replication: float
 
     def as_dict(self) -> Dict[str, float]:
-        """Plain-dict view for tabulation."""
-        return {
+        """Plain-dict view for tabulation (stable keys, JSON-native values)."""
+        return stable_dict({
             "classification_time": self.classification_time,
             "memory_bytes": self.memory_bytes,
             "bytes_per_rule": self.bytes_per_rule,
@@ -70,7 +71,7 @@ class TreeStats:
             "depth": self.depth,
             "max_leaf_rules": self.max_leaf_rules,
             "rule_replication": self.rule_replication,
-        }
+        })
 
 
 def node_time_cost(node: Node) -> int:

@@ -1,0 +1,119 @@
+"""Tests for the versioned BENCH_<area>.json schema (`repro.obs.bench`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import BenchFormatError
+from repro.obs import (
+    BENCH_SCHEMA_VERSION,
+    BenchRecord,
+    bench_filename,
+    environment_fingerprint,
+    read_bench,
+    write_bench,
+)
+
+
+def _record(**overrides):
+    base = dict(
+        name="unit",
+        area="engine",
+        config={"seed": 0, "algorithm": "HiCuts"},
+        counters={"num_packets": 1000, "mismatches": 0},
+        timings={"compiled_pps": 123456.0, "compile_seconds": 0.5},
+    )
+    base.update(overrides)
+    return BenchRecord(**base)
+
+
+class TestRecord:
+    def test_environment_autofilled(self):
+        record = _record()
+        env = record.environment
+        for key in ("python", "numpy", "cpu_count", "platform", "git_sha"):
+            assert key in env
+        assert env["cpu_count"] >= 1
+
+    def test_fingerprint_standalone_matches_keys(self):
+        assert set(environment_fingerprint()) == set(_record().environment)
+
+    def test_bench_filename(self):
+        assert bench_filename("serve") == "BENCH_serve.json"
+
+    def test_json_round_trip_preserves_everything(self):
+        record = _record()
+        back = BenchRecord.from_json(record.to_json())
+        assert back.name == record.name
+        assert back.area == record.area
+        assert back.config == record.config
+        assert back.counters == record.counters
+        assert back.timings == record.timings
+        assert back.environment == record.environment
+        assert back.schema_version == BENCH_SCHEMA_VERSION
+        # Equal records serialize to identical bytes (sorted keys).
+        assert back.to_json() == record.to_json()
+
+    def test_file_round_trip(self, tmp_path):
+        path = write_bench(_record(), tmp_path / "sub" / "BENCH_engine.json")
+        assert path.exists()
+        back = read_bench(path)
+        assert back.counters["num_packets"] == 1000
+
+
+class TestValidation:
+    def test_unknown_schema_version_rejected(self):
+        data = json.loads(_record().to_json())
+        data["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(BenchFormatError, match="schema version"):
+            BenchRecord.from_dict(data)
+
+    def test_missing_version_rejected(self):
+        data = json.loads(_record().to_json())
+        del data["schema_version"]
+        with pytest.raises(BenchFormatError, match="schema version"):
+            BenchRecord.from_dict(data)
+
+    def test_missing_field_rejected(self):
+        data = json.loads(_record().to_json())
+        del data["counters"]
+        with pytest.raises(BenchFormatError, match="counters"):
+            BenchRecord.from_dict(data)
+
+    def test_wrong_field_type_rejected(self):
+        data = json.loads(_record().to_json())
+        data["timings"] = [1, 2, 3]
+        with pytest.raises(BenchFormatError, match="timings"):
+            BenchRecord.from_dict(data)
+
+    def test_non_numeric_metric_rejected(self):
+        data = json.loads(_record().to_json())
+        data["counters"]["num_packets"] = "1000"
+        with pytest.raises(BenchFormatError, match="num_packets"):
+            BenchRecord.from_dict(data)
+
+    def test_bool_metric_rejected(self):
+        data = json.loads(_record().to_json())
+        data["timings"]["compiled_pps"] = True
+        with pytest.raises(BenchFormatError, match="compiled_pps"):
+            BenchRecord.from_dict(data)
+
+    def test_not_an_object_rejected(self):
+        with pytest.raises(BenchFormatError, match="JSON object"):
+            BenchRecord.from_json("[1, 2]")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(BenchFormatError, match="not valid JSON"):
+            BenchRecord.from_json("{nope")
+
+    def test_unreadable_path_rejected(self, tmp_path):
+        with pytest.raises(BenchFormatError, match="cannot read"):
+            read_bench(tmp_path / "missing.json")
+
+    def test_source_named_in_errors(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text('{"schema_version": 99}', encoding="utf-8")
+        with pytest.raises(BenchFormatError, match="BENCH_bad.json"):
+            read_bench(path)

@@ -1,0 +1,206 @@
+"""Tests for the metrics registry (`repro.obs.metrics`).
+
+The registry's whole reason to exist is the shard boundary: registries must
+pickle, and merging them must be exact and order-independent — the same
+contract the raw-latency percentile merge in `repro.serve.sharded` honours.
+So the tests here lean on pickling round-trips, merge associativity, and
+the serving integration that carries a registry across `merge_reports`.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import MetricsRegistry, stable_dict
+from repro.obs.metrics import TIMING_PERCENTILES, Counter, Gauge, Timing
+from repro.serve import ShardTenant, merge_reports, serve_sharded
+from repro.workloads import (
+    ChurnConfig,
+    FlowTraceConfig,
+    build_workload,
+    make_tenant_specs,
+)
+
+
+def _registry(counter=0, gauge=0.0, samples=()):
+    reg = MetricsRegistry()
+    if counter:
+        reg.counter("c").inc(counter)
+    if gauge:
+        reg.gauge("g").set(gauge)
+    for sample in samples:
+        reg.timing("t").observe(sample)
+    return reg
+
+
+class TestPrimitives:
+    def test_counter_rejects_negative_and_float_drift(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_merge_keeps_max_and_sums_updates(self):
+        left, right = Gauge("g"), Gauge("g")
+        left.set(3.0)
+        right.set(2.0)
+        right.set(7.0)
+        left.merge(right)
+        assert left.value == 7.0
+        assert left.updates == 3
+
+    def test_timing_stats_over_raw_samples(self):
+        timing = Timing("t")
+        for sample in (0.1, 0.3, 0.2):
+            timing.observe(sample)
+        assert timing.count == 3
+        assert timing.total == pytest.approx(0.6)
+        assert timing.mean == pytest.approx(0.2)
+        assert timing.max == pytest.approx(0.3)
+        assert timing.percentile(50) == pytest.approx(0.2)
+        summary = timing.as_dict()
+        for pct in TIMING_PERCENTILES:
+            assert f"p{pct:g}_seconds" in summary
+
+    def test_empty_timing_summary_is_zeroed(self):
+        timing = Timing("t")
+        assert timing.count == 0
+        assert timing.mean == 0.0
+        assert timing.percentile(99) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.timing("y") is reg.timing("y")
+        assert len(reg) == 2
+
+    def test_name_bound_to_one_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="different kind"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="different kind"):
+            reg.timing("x")
+
+    def test_span_records_even_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("phase"):
+                raise RuntimeError("boom")
+        assert reg.timing("phase").count == 1
+
+    def test_merge_is_exact_and_associative_across_pickling(self):
+        regs = [
+            _registry(counter=3, gauge=1.0, samples=(0.1, 0.2)),
+            _registry(counter=5, gauge=9.0, samples=(0.05,)),
+            _registry(counter=2, samples=(0.4, 0.3, 0.9)),
+        ]
+        # The shard boundary: registries cross it pickled.
+        thawed = [pickle.loads(pickle.dumps(r)) for r in regs]
+
+        left = MetricsRegistry.merged([thawed[0], thawed[1]])
+        left.merge(thawed[2])
+        right = MetricsRegistry.merged([thawed[1], thawed[2], thawed[0]])
+
+        assert left.counters["c"].value == right.counters["c"].value == 10
+        assert left.gauges["g"].value == right.gauges["g"].value == 9.0
+        assert sorted(left.timings["t"].samples) == \
+            sorted(right.timings["t"].samples)
+        assert left.timings["t"].count == 6
+        assert left.timings["t"].percentile(99) == \
+            pytest.approx(right.timings["t"].percentile(99))
+
+    def test_merged_leaves_inputs_untouched(self):
+        one = _registry(counter=1, samples=(0.5,))
+        two = _registry(counter=2)
+        merged = MetricsRegistry.merged([one, two])
+        merged.counter("c").inc(100)
+        merged.timing("t").observe(9.9)
+        assert one.counters["c"].value == 1
+        assert two.counters["c"].value == 2
+        assert one.timings["t"].samples == [0.5]
+
+    def test_summary_and_as_dict_have_stable_keys(self):
+        reg = _registry(counter=2, gauge=4.0, samples=(0.1,))
+        snapshot = reg.as_dict()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["counters"]["c"] == 2
+        assert snapshot["timings"]["t"]["count"] == 1
+
+
+class TestStableDict:
+    def test_sorts_and_coerces(self):
+        import numpy as np
+
+        out = stable_dict({"b": np.int64(2), "a": (1, 2), "c": {"z": 1}})
+        assert list(out) == ["a", "b", "c"]
+        assert out["b"] == 2 and isinstance(out["b"], int)
+        assert out["a"] == [1, 2]
+        assert out["c"] == {"z": 1}
+
+
+def _serve_sharded(num_workers, seed=4):
+    specs = make_tenant_specs(3, families=("acl1", "ipc1"),
+                              num_rules=50, seed=seed)
+    workload = build_workload(
+        specs, FlowTraceConfig(num_packets=1500, num_flows=120, seed=seed),
+        churn=ChurnConfig(num_events=2, adds_per_event=2,
+                          removes_per_event=1),
+    )
+    tenants = [ShardTenant(s.tenant_id, s.algorithm, s.binth) for s in specs]
+    return serve_sharded(tenants, workload.rulesets, workload.requests,
+                         workload.updates, num_workers=num_workers,
+                         backend="serial")
+
+
+class TestServingIntegration:
+    def test_merged_report_carries_exact_shard_metrics(self):
+        outcomes, merged, _ = _serve_sharded(num_workers=2)
+        assert len(outcomes) == 2
+        metrics = merged.metrics
+        assert metrics is not None
+        # Counters are exact sums across shards.
+        assert metrics.counters["serve.requests"].value == \
+            merged.num_requests
+        assert metrics.counters["serve.batches"].value == merged.num_batches
+        # Timing series concatenate raw samples: one queue-wait per request,
+        # one flush per batch, one swap-install per installed swap.
+        assert metrics.timings["serve.queue_wait_seconds"].count == \
+            merged.num_requests
+        assert metrics.timings["serve.batch_flush_seconds"].count == \
+            merged.num_batches
+        assert metrics.timings["serve.swap_install_seconds"].count == \
+            merged.swaps
+        assert metrics.timings["engine.compile_seconds"].count >= 3
+        # Stats objects survive the merge too.
+        assert merged.swap_stats is not None
+        assert merged.swap_stats.swaps == merged.swaps
+        per_shard = [o.report.metrics.counters["serve.requests"].value
+                     for o in outcomes]
+        assert sum(per_shard) == merged.num_requests
+
+    def test_single_process_matches_sharded_counters(self):
+        _, merged_1, _ = _serve_sharded(num_workers=1)
+        _, merged_2, _ = _serve_sharded(num_workers=2)
+        assert merged_1.deterministic_counters() == \
+            merged_2.deterministic_counters()
+        one = merged_1.metrics
+        two = merged_2.metrics
+        for name in ("serve.requests", "serve.batches"):
+            assert one.counters[name].value == two.counters[name].value
+
+    def test_merge_reports_without_metrics_stays_none(self):
+        outcomes, _, _ = _serve_sharded(num_workers=2)
+        for outcome in outcomes:
+            outcome.report.metrics = None
+            outcome.report.swap_stats = None
+            outcome.report.retrain_stats = None
+        merged = merge_reports(outcomes, wall_seconds=1.0)
+        assert len(merged.metrics.counters) == 0
+        assert merged.retrain_stats is None
