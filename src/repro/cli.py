@@ -298,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
     bcompare.add_argument("--min-cpus", type=int, default=0, metavar="N",
                           help="skip timing checks when the machine has "
                                "fewer than N CPUs (0 = never skip)")
+    bcompare.add_argument("--cross-machine-timings", action="store_true",
+                          help="band timings even when run and baseline "
+                               "were recorded on different machine classes "
+                               "(different fingerprint cpu_count); skipped "
+                               "by default because such bands gate machine "
+                               "noise, not the code")
     bcompare.add_argument("--ignore-config", action="store_true",
                           help="do not fail on config-knob drift between "
                                "run and baseline")
@@ -755,7 +761,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
 
     from repro.exceptions import BenchError
     from repro.obs.bench import read_bench
-    from repro.obs.compare import compare_records
+    from repro.obs.compare import compare_records, timings_comparable
 
     if args.timing_tolerance < 0:
         print("error: --timing-tolerance must be >= 0", file=sys.stderr)
@@ -772,6 +778,12 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
         if cpus < args.min_cpus:
             print(f"note: {cpus} CPU(s) < --min-cpus {args.min_cpus}; "
                   f"timing checks skipped")
+            check_timings = False
+    if check_timings and not args.cross_machine_timings:
+        comparable, reason = timings_comparable(run, baseline)
+        if not comparable:
+            print(f"note: {reason}; timing checks skipped "
+                  f"(--cross-machine-timings to force)")
             check_timings = False
     report = compare_records(run, baseline,
                              timing_tolerance=args.timing_tolerance,

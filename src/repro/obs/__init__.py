@@ -39,6 +39,7 @@ from repro.obs.compare import (
     CompareReport,
     compare_records,
     timing_direction,
+    timings_comparable,
 )
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry, Timing
 from repro.obs.serialize import stable_dict
@@ -54,6 +55,7 @@ __all__ = [
     "CompareReport",
     "compare_records",
     "timing_direction",
+    "timings_comparable",
     "Counter",
     "Gauge",
     "MetricsRegistry",

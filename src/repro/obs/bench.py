@@ -45,18 +45,36 @@ BENCH_AREAS = ("engine", "serve", "scaling", "replay")
 _NUMBER_TYPES = (int, float)
 
 
-def git_sha() -> Optional[str]:
-    """The repository HEAD SHA, or None outside a git checkout."""
+def _git(args: list, cwd: Path) -> Optional[str]:
+    """Run a git command; stdout on success, None on any failure."""
     try:
         out = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True, text=True, timeout=10,
-            cwd=Path(__file__).resolve().parent,
+            ["git", *args], capture_output=True, text=True, timeout=10,
+            cwd=cwd,
         )
     except (OSError, subprocess.SubprocessError):
         return None
-    sha = out.stdout.strip()
-    return sha if out.returncode == 0 and sha else None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def git_sha(repo_root: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """The HEAD SHA of the checkout this code came from, or None.
+
+    With ``repo_root`` the SHA is resolved there, no questions asked.
+    Without it, the SHA is only reported when this very file is *tracked*
+    by the repository surrounding it (a dev checkout): a pip-installed
+    copy whose site-packages happens to live under some unrelated git
+    checkout must record None, not that repository's SHA.
+    """
+    if repo_root is not None:
+        sha = _git(["rev-parse", "HEAD"], Path(repo_root))
+        return sha or None
+    here = Path(__file__).resolve()
+    if _git(["ls-files", "--error-unmatch", here.name],
+            here.parent) is None:
+        return None
+    sha = _git(["rev-parse", "HEAD"], here.parent)
+    return sha or None
 
 
 def environment_fingerprint() -> Dict[str, object]:

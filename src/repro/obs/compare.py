@@ -19,14 +19,18 @@ schema (:mod:`repro.obs.bench`) was split for:
   cannot meaningfully time multi-worker paths — and the skip is recorded
   in the report rather than silently passing.
 
-Environment fingerprints are never compared; they exist so a surprising
-verdict can be traced to the machine that produced each side.
+Environment fingerprints never *fail* a comparison, but they do gate what
+gets compared: :func:`timings_comparable` refuses timing bands when the two
+records were produced on different machine classes (different fingerprint
+``cpu_count``) — CI wall-clock numbers banded against a dev-machine
+baseline are noise, not a verdict.  The fingerprint otherwise exists so a
+surprising result can be traced to the machine that produced each side.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.obs.bench import BenchRecord
 
@@ -36,6 +40,28 @@ DEFAULT_TIMING_TOLERANCE = 0.25
 #: Substrings marking a timing metric as higher-is-better.
 HIGHER_IS_BETTER_MARKERS = ("_pps", "pps_", "speedup", "_per_sec",
                             "hit_rate", "throughput")
+
+
+def timings_comparable(run: BenchRecord,
+                       baseline: BenchRecord) -> Tuple[bool, str]:
+    """Whether two records' timings come from the same machine class.
+
+    Timing bands only mean something when both sides ran on comparable
+    hardware; the fingerprint's ``cpu_count`` is the proxy used here (a
+    4-vCPU CI runner banded against a 1-CPU dev-container baseline, or
+    vice versa, would gate on machine noise).  Returns ``(ok, reason)``
+    where ``reason`` explains a False verdict.  Counters are unaffected —
+    they are machine-independent by contract.
+    """
+    run_cpus = run.environment.get("cpu_count")
+    base_cpus = baseline.environment.get("cpu_count")
+    if run_cpus == base_cpus:
+        return True, ""
+    return False, (
+        f"run was recorded with cpu_count={run_cpus} but the baseline "
+        f"with cpu_count={base_cpus}; timings are not comparable across "
+        f"machine classes"
+    )
 
 
 def timing_direction(metric: str) -> str:

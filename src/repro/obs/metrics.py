@@ -223,6 +223,24 @@ class MetricsRegistry:
             result.merge(registry)
         return result
 
+    def snapshot(self) -> "MetricsRegistry":
+        """A detached point-in-time copy of every series.
+
+        Series objects and raw sample lists are cloned (a C-level list
+        copy, far cheaper than ``copy.deepcopy`` for big sample sets), so
+        the snapshot never moves when the live registry keeps observing —
+        what lets a report embed metrics without aliasing the shared
+        instance background writers hold.
+        """
+        result = MetricsRegistry()
+        result.counters = {n: Counter(n, c.value)
+                           for n, c in self.counters.items()}
+        result.gauges = {n: Gauge(n, g.value, g.updates)
+                         for n, g in self.gauges.items()}
+        result.timings = {n: Timing(n, list(t.samples))
+                          for n, t in self.timings.items()}
+        return result
+
     def summary(self) -> dict:
         """Stable-key nested summary: {counters, gauges, timings}."""
         return stable_dict({

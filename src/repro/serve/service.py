@@ -98,9 +98,13 @@ class ServingReport:
     retrains_triggered: int = 0
     retrains_installed: int = 0
     retrains_discarded: int = 0
-    #: The run's phase-timer registry (compile / swap-install / retrain /
-    #: batch-flush / queue-wait spans plus request counters).  Merged
-    #: exactly across shards by ``merge_reports``.
+    #: Phase-timer registry snapshot (compile / swap-install / retrain /
+    #: batch-flush / queue-wait spans plus request counters), detached
+    #: at the end-of-trace quiesce point so later runs and background
+    #: builders can't mutate it.  Cumulative over the registry's lifetime:
+    #: repeated ``serve()`` calls on the same ``TenantRegistry`` include
+    #: the earlier runs' observations.  Merged exactly across shards by
+    #: ``merge_reports``.
     metrics: Optional[MetricsRegistry] = None
     #: Swap counters merged over every tenant slot (raw build_seconds kept,
     #: so cross-shard merges stay exact).
@@ -385,7 +389,11 @@ class ClassificationService:
             retrains_triggered=retrain_stats.triggered if retrain_stats else 0,
             retrains_installed=retrain_stats.installed if retrain_stats else 0,
             retrains_discarded=retrain_stats.discarded if retrain_stats else 0,
-            metrics=metrics,
+            # Snapshot, like retrain_stats above: the registry is the live
+            # shared instance (builder threads and later serve() runs keep
+            # writing into it), and the drains above are the one point
+            # where no background writer is in flight.
+            metrics=metrics.snapshot(),
             swap_stats=self.registry.swap_stats(),
             retrain_stats=retrain_stats,
         )

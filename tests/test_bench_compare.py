@@ -19,6 +19,7 @@ from repro.obs import (
     compare_records,
     read_bench,
     timing_direction,
+    timings_comparable,
     write_bench,
 )
 
@@ -52,6 +53,22 @@ class TestTimingDirection:
     ])
     def test_lower_is_better_default(self, metric):
         assert timing_direction(metric) == "lower"
+
+
+class TestTimingsComparable:
+    def test_same_machine_class_is_comparable(self):
+        # Both records get this machine's fingerprint by default.
+        ok, reason = timings_comparable(_record(), _record())
+        assert ok and reason == ""
+
+    def test_different_cpu_count_is_not_comparable(self):
+        run, baseline = _record(), _record()
+        baseline.environment = dict(baseline.environment)
+        baseline.environment["cpu_count"] = \
+            run.environment["cpu_count"] + 3
+        ok, reason = timings_comparable(run, baseline)
+        assert not ok
+        assert "cpu_count" in reason and "machine class" in reason
 
 
 class TestCompareRecords:
@@ -188,6 +205,31 @@ class TestBenchCompareCli:
                      "--min-cpus", "100000"])
         assert code == 0
         assert "skipped" in capsys.readouterr().out
+
+    def test_cross_machine_baseline_skips_timings(self, tmp_path, capsys):
+        """The CI scenario: a 4-vCPU runner gated against a dev-machine
+        baseline must not band wall-clock numbers across machine classes."""
+        run_path, baseline_path = self._write_pair(tmp_path)
+        data = json.loads(run_path.read_text())
+        data["timings"]["compiled_pps"] = 1.0  # catastrophic on paper
+        data["environment"]["cpu_count"] += 3  # ...but a different machine
+        run_path.write_text(json.dumps(data))
+        code = main(["bench", "compare", str(run_path), str(baseline_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "machine class" in out and "skipped" in out
+
+    def test_cross_machine_timings_flag_forces_the_band(self, tmp_path,
+                                                        capsys):
+        run_path, baseline_path = self._write_pair(tmp_path)
+        data = json.loads(run_path.read_text())
+        data["timings"]["compiled_pps"] = 1.0
+        data["environment"]["cpu_count"] += 3
+        run_path.write_text(json.dumps(data))
+        code = main(["bench", "compare", str(run_path), str(baseline_path),
+                     "--cross-machine-timings"])
+        assert code == 1
+        assert "compiled_pps" in capsys.readouterr().out
 
     def test_unreadable_record_exits_two(self, tmp_path, capsys):
         run_path, baseline_path = self._write_pair(tmp_path)

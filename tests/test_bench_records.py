@@ -40,6 +40,34 @@ class TestRecord:
     def test_fingerprint_standalone_matches_keys(self):
         assert set(environment_fingerprint()) == set(_record().environment)
 
+    def test_git_sha_reports_the_tracking_checkout_only(self, tmp_path):
+        import subprocess
+
+        from repro.obs.bench import git_sha
+
+        git = ["git", "-c", "user.email=t@t", "-c", "user.name=t"]
+        subprocess.run(git + ["init", "-q"], cwd=tmp_path, check=True)
+        (tmp_path / "file.txt").write_text("x")
+        subprocess.run(git + ["add", "file.txt"], cwd=tmp_path, check=True)
+        subprocess.run(git + ["commit", "-qm", "init"], cwd=tmp_path,
+                       check=True)
+        head = subprocess.run(["git", "rev-parse", "HEAD"], cwd=tmp_path,
+                              capture_output=True, text=True,
+                              check=True).stdout.strip()
+        # An explicit repo_root resolves that repository's HEAD.
+        assert git_sha(repo_root=tmp_path) == head
+        # Without repo_root the SHA comes from the checkout that *tracks*
+        # this package; a source tree run reports one, and whatever repo a
+        # merely-nearby untracked copy sits under must not leak through —
+        # both resolutions are about repro.obs itself, so they never see
+        # the unrelated tmp_path repo's HEAD.
+        assert git_sha() != head
+
+    def test_git_sha_none_outside_any_repo(self, tmp_path):
+        from repro.obs.bench import git_sha
+
+        assert git_sha(repo_root=tmp_path) is None
+
     def test_bench_filename(self):
         assert bench_filename("serve") == "BENCH_serve.json"
 

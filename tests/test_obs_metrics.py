@@ -15,7 +15,14 @@ import pytest
 
 from repro.obs import MetricsRegistry, stable_dict
 from repro.obs.metrics import TIMING_PERCENTILES, Counter, Gauge, Timing
-from repro.serve import ShardTenant, merge_reports, serve_sharded
+from repro.serve import (
+    BatchPolicy,
+    ClassificationService,
+    ShardTenant,
+    TenantRegistry,
+    merge_reports,
+    serve_sharded,
+)
 from repro.workloads import (
     ChurnConfig,
     FlowTraceConfig,
@@ -126,6 +133,23 @@ class TestRegistry:
         assert two.counters["c"].value == 2
         assert one.timings["t"].samples == [0.5]
 
+    def test_snapshot_is_detached_from_the_live_registry(self):
+        live = _registry(counter=3, gauge=2.0, samples=(0.1, 0.2))
+        frozen = live.snapshot()
+        assert frozen.counters["c"].value == 3
+        assert frozen.gauges["g"].value == 2.0
+        assert frozen.timings["t"].samples == [0.1, 0.2]
+        # The live side keeps observing; the snapshot must not move.
+        live.counter("c").inc(10)
+        live.timing("t").observe(9.9)
+        live.gauge("g").set(8.0)
+        assert frozen.counters["c"].value == 3
+        assert frozen.gauges["g"].value == 2.0
+        assert frozen.timings["t"].samples == [0.1, 0.2]
+        # And vice versa: mutating the snapshot leaves the live side alone.
+        frozen.counter("c").inc(100)
+        assert live.counters["c"].value == 13
+
     def test_summary_and_as_dict_have_stable_keys(self):
         reg = _registry(counter=2, gauge=4.0, samples=(0.1,))
         snapshot = reg.as_dict()
@@ -194,6 +218,28 @@ class TestServingIntegration:
         two = merged_2.metrics
         for name in ("serve.requests", "serve.batches"):
             assert one.counters[name].value == two.counters[name].value
+
+    def test_report_metrics_are_a_snapshot_not_the_live_registry(self):
+        specs = make_tenant_specs(1, families=("acl1",), num_rules=40,
+                                  seed=7)
+        workload = build_workload(
+            specs, FlowTraceConfig(num_packets=400, num_flows=60, seed=7))
+        registry = TenantRegistry(background_swaps=False)
+        for spec in specs:
+            registry.register(spec.tenant_id,
+                              workload.rulesets[spec.tenant_id],
+                              algorithm=spec.algorithm, binth=spec.binth)
+        service = ClassificationService(registry, BatchPolicy(max_batch=32))
+        first = service.serve(workload.requests)
+        served = first.metrics.counters["serve.requests"].value
+        assert served == first.num_requests
+        # A second run on the same service keeps writing into the live
+        # registry (cumulative by design) but must not move the first
+        # report's embedded snapshot.
+        second = service.serve(workload.requests)
+        assert first.metrics.counters["serve.requests"].value == served
+        assert second.metrics.counters["serve.requests"].value == 2 * served
+        assert registry.metrics.counters["serve.requests"].value == 2 * served
 
     def test_merge_reports_without_metrics_stays_none(self):
         outcomes, _, _ = _serve_sharded(num_workers=2)
