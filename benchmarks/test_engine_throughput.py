@@ -1,57 +1,104 @@
 """Engine throughput: compiled flat-array execution vs the interpreter.
 
-The acceptance bar for the dataplane engine: on a ClassBench acl1-style
-ruleset, the compiled ``classify_batch`` must deliver at least 10x the
-packets/sec of the per-packet Python interpreter while agreeing with it
-packet-for-packet.
+The acceptance bar for the dataplane engine used to be a hard-coded
+"compiled must be >= 10x the interpreter" assert.  Ratios like that are a
+property of the machine running the suite, not of the code — a 1-CPU CI
+container and a 16-core workstation produce wildly different speedups from
+the same commit.  The bar now lives in checked-in baseline records
+(``benchmarks/baselines/BENCH_engine_throughput_*.json``) and is gated with
+the same ``repro bench compare`` semantics as the CI scorecard job:
+deterministic counters (mismatches, packet/subtree/cache tallies) must
+match the baseline bit-for-bit everywhere, while pps/speedup timings are
+tolerance-banded only on a machine with parallel headroom *and* the same
+machine class (fingerprint ``cpu_count``) as the baseline.  Regenerate the
+baselines with ``scripts/make_bench_baselines.py`` when a counter change is
+intentional.
 """
 
 from __future__ import annotations
 
-from repro.baselines import EffiCutsBuilder, HiCutsBuilder
-from repro.classbench import generate_classifier, generate_trace
-from repro.engine import bench_classifier
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.engine import NUMBA_AVAILABLE
 from repro.harness import format_table
+from repro.harness.scorecard import (THROUGHPUT_SCORECARDS,
+                                     throughput_bench_filename,
+                                     throughput_scorecard_record)
+from repro.obs import compare_records, read_bench, timings_comparable
 
-#: Large enough that vectorisation dominates compile+dispatch overheads,
-#: small enough for CI.
-NUM_RULES = 500
-NUM_PACKETS = 30_000
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: Timing bands need real parallel headroom to be meaningful; below this
+#: the run gates counters only (same floor as ``examples/bench_scorecard.py``).
+MIN_CPUS_FOR_TIMINGS = 8
+
+#: Throughput numbers are noisier than the small scorecard runs, so the
+#: band is wider than the compare default (25 %).
+TIMING_TOLERANCE = 0.5
+
+#: Minimum speedup of the numba backend over numpy on the same workload;
+#: only asserted where the JIT has cores to parallelise across.
+MIN_NATIVE_SPEEDUP = 3.0
 
 
-def test_engine_throughput_speedup(run_once):
-    ruleset = generate_classifier("acl1", NUM_RULES, seed=0)
-    packets = generate_trace(ruleset, num_packets=NUM_PACKETS, seed=1)
-    classifier = HiCutsBuilder(binth=8).build(ruleset)
+def _gate_against_baseline(kind: str, run_once) -> None:
+    record = run_once(throughput_scorecard_record, kind)
+    print(f"\n=== Engine throughput scorecard: {kind} ===")
+    print(format_table(
+        ["metric", "value"],
+        [[name, f"{value:,.0f}"] for name, value
+         in sorted({**record.counters, **record.timings}.items())],
+    ))
 
-    result = run_once(bench_classifier, classifier, packets,
-                      flow_cache_size=4096)
-
-    print("\n=== Engine throughput: HiCuts on acl1 ===")
-    print(format_table(["engine", "packets/sec", "speedup"], result.rows()))
-
-    assert result.mismatches == 0, \
+    assert record.counters["mismatches"] == 0, \
         "compiled engine disagrees with the interpreter"
-    assert result.compiled_pps > 0 and result.interpreter_pps > 0
-    assert result.speedup >= 10.0, (
-        f"compiled engine is only {result.speedup:.1f}x the interpreter; "
-        f"need >= 10x"
+    assert record.timings["compiled_pps"] > 0
+    assert record.timings["interpreter_pps"] > 0
+
+    baseline_path = BASELINE_DIR / throughput_bench_filename(kind)
+    baseline = read_bench(baseline_path)
+    comparable, reason = timings_comparable(record, baseline)
+    enough_cpus = (os.cpu_count() or 1) >= MIN_CPUS_FOR_TIMINGS
+    check_timings = comparable and enough_cpus
+    if not check_timings:
+        print(f"timing checks skipped: "
+              f"{reason if not comparable else '<%d CPUs' % MIN_CPUS_FOR_TIMINGS}")
+    report = compare_records(record, baseline,
+                             timing_tolerance=TIMING_TOLERANCE,
+                             check_timings=check_timings)
+    assert report.ok, "\n".join(
+        f"{check.kind}:{check.metric} run={check.run_value} "
+        f"baseline={check.baseline_value} ({check.detail})"
+        for check in report.failures
     )
 
 
-def test_engine_throughput_multitree(run_once):
-    """The multi-tree dispatcher keeps its edge on partitioned classifiers."""
-    ruleset = generate_classifier("fw1", NUM_RULES, seed=0)
-    packets = generate_trace(ruleset, num_packets=NUM_PACKETS, seed=1)
-    classifier = EffiCutsBuilder(binth=8).build(ruleset)
+@pytest.mark.parametrize("kind", sorted(THROUGHPUT_SCORECARDS))
+def test_engine_throughput_vs_baseline(kind, run_once):
+    """Each throughput scorecard matches its checked-in baseline record."""
+    _gate_against_baseline(kind, run_once)
 
-    result = run_once(bench_classifier, classifier, packets)
 
-    print("\n=== Engine throughput: EffiCuts on fw1 "
-          f"({result.num_subtrees} search trees) ===")
-    print(format_table(["engine", "packets/sec", "speedup"], result.rows()))
-
-    assert result.mismatches == 0
-    assert result.speedup >= 5.0, (
-        f"multi-tree compiled engine is only {result.speedup:.1f}x; need >= 5x"
+@pytest.mark.skipif(
+    not NUMBA_AVAILABLE or (os.cpu_count() or 1) < MIN_CPUS_FOR_TIMINGS,
+    reason="needs numba and >= %d CPUs for a meaningful JIT-vs-numpy ratio"
+           % MIN_CPUS_FOR_TIMINGS,
+)
+def test_native_backend_speedup(run_once):
+    """The numba kernels beat the numpy dispatcher on the big workload."""
+    numpy_record = throughput_scorecard_record("hicuts")
+    numba_record = run_once(throughput_scorecard_record, "hicuts",
+                            engine_backend="numba")
+    assert numba_record.counters["mismatches"] == 0
+    numpy_pps = numpy_record.timings["compiled_pps"]
+    numba_pps = numba_record.timings["compiled_pps"]
+    ratio = numba_pps / max(numpy_pps, 1e-9)
+    print(f"\nnative kernels: {numba_pps:,.0f} pps vs numpy "
+          f"{numpy_pps:,.0f} pps ({ratio:.1f}x)")
+    assert ratio >= MIN_NATIVE_SPEEDUP, (
+        f"numba backend is only {ratio:.1f}x numpy; "
+        f"need >= {MIN_NATIVE_SPEEDUP}x"
     )

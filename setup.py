@@ -7,4 +7,9 @@ environments whose setuptools predates PEP 660 wheel-less editable support
 
 from setuptools import setup
 
-setup()
+setup(
+    # Optional extras.  ``native`` pulls in numba for the jitted traversal
+    # kernels (``repro engine-bench --engine numba``); the package runs
+    # fully — and byte-identically — without it on the numpy backend.
+    extras_require={"native": ["numba"]},
+)

@@ -123,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also time a pass with an N-flow LRU cache")
     bench.add_argument("--seed", type=int, default=0,
                        help="seed for ruleset generation and packet sampling")
+    bench.add_argument("--engine", default="numpy", dest="engine_backend",
+                       metavar="BACKEND",
+                       help="traversal backend: numpy, numba, or auto "
+                            "(numba needs the repro[native] extra; asking "
+                            "for it without numba warns and skips the run)")
     bench.add_argument("--json", type=Path, default=None, metavar="PATH",
                        help="also write the run as a BENCH_engine.json "
                             "scorecard record (see `repro bench compare`)")
@@ -181,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--serving-backend", default="process",
                        choices=EXECUTOR_BACKENDS,
                        help="executor backend for serving shards")
+    serve.add_argument("--engine", default="numpy", dest="engine_backend",
+                       metavar="BACKEND",
+                       help="compiled-engine traversal backend for every "
+                            "tenant slot: numpy, numba, or auto")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--json", type=Path, default=None, metavar="PATH",
                        help="also write the run as a BENCH_serve.json "
@@ -415,6 +424,8 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 def _cmd_engine_bench(args: argparse.Namespace) -> int:
     from repro.engine.bench import bench_classifier
+    from repro.engine.kernels import (ENGINE_BACKENDS, NUMBA_AVAILABLE,
+                                      resolve_backend)
 
     if args.num_packets < 1:
         print("error: --num-packets must be >= 1", file=sys.stderr)
@@ -422,6 +433,17 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
     if args.flow_cache is not None and args.flow_cache < 1:
         print("error: --flow-cache must be >= 1", file=sys.stderr)
         return 2
+    if args.engine_backend not in ENGINE_BACKENDS:
+        print(f"error: unknown engine backend {args.engine_backend!r}; "
+              f"choose from {ENGINE_BACKENDS}", file=sys.stderr)
+        return 2
+    if args.engine_backend == "numba" and not NUMBA_AVAILABLE:
+        # A missing optional extra is an environment gap, not a usage error:
+        # warn and exit clean so scripted sweeps over backends keep going.
+        print("warning: --engine numba requested but numba is not installed "
+              "(pip install repro[native]); skipping this run", file=sys.stderr)
+        return 0
+    backend = resolve_backend(args.engine_backend)
     if args.rules is not None:
         ruleset = rules_io.load(args.rules)
     else:
@@ -437,12 +459,16 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
     packets = generate_trace(ruleset, num_packets=args.num_packets,
                              seed=args.seed)
     result = bench_classifier(classifier, packets,
-                              flow_cache_size=args.flow_cache)
+                              flow_cache_size=args.flow_cache,
+                              backend=backend)
     print(f"{args.algorithm} on {ruleset.name or args.seed_family} "
           f"({len(ruleset)} rules, {len(packets)} packets): "
           f"compiled {result.num_subtrees} search tree(s), "
-          f"{result.compiled_memory_bytes} bytes, "
-          f"compile {result.compile_seconds * 1000:.1f} ms")
+          f"{result.compiled_memory_bytes} bytes")
+    print(f"backend {result.backend}: "
+          f"compile {result.compile_seconds * 1000:.1f} ms, "
+          f"warmup {result.warmup_seconds * 1000:.1f} ms"
+          + (" (includes JIT)" if result.backend == "numba" else ""))
     print(format_table(["engine", "packets/sec", "speedup"], result.rows()))
     if result.cache_hit_rate is not None:
         print(f"flow cache: {result.cache_hit_rate:.1%} hit rate, "
@@ -460,6 +486,9 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
             "binth": args.binth,
             "flow_cache": args.flow_cache,
             "seed": args.seed,
+            # The resolved backend, so `repro bench compare` refuses to
+            # diff a numba run against a numpy baseline (or vice versa).
+            "engine_backend": result.backend,
         })
         write_bench(record, args.json)
         print(f"wrote scorecard {args.json}")
@@ -472,6 +501,7 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.exceptions import EngineBackendError
     from repro.harness.serving import run_serving
 
     if args.tenants < 1:
@@ -516,9 +546,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             retrain_policy=retrain_policy,
             serving_workers=args.serving_workers,
             serving_backend=args.serving_backend,
+            engine_backend=args.engine_backend,
             seed=args.seed,
         )
     except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except EngineBackendError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     workload = result.workload
@@ -561,6 +595,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 "verify": args.verify,
                 "retrain_threshold": args.retrain_threshold,
                 "serving_workers": args.serving_workers,
+                "engine_backend": args.engine_backend,
                 "seed": args.seed,
             })
         write_bench(record, args.json)

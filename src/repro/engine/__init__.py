@@ -29,8 +29,17 @@ from repro.engine.layout import (
 from repro.engine.compile import (
     MAX_SEARCH_TREES,
     CompileError,
+    CompileProvenance,
+    PartialCompileResult,
     compile_classifier,
     compile_tree,
+    partial_compile_classifier,
+)
+from repro.engine.kernels import (
+    ENGINE_BACKENDS,
+    NUMBA_AVAILABLE,
+    available_backends,
+    resolve_backend,
 )
 from repro.engine.cache import (
     DEFAULT_FLOW_CACHE_SIZE,
@@ -55,8 +64,15 @@ __all__ = [
     "packets_to_array",
     "MAX_SEARCH_TREES",
     "CompileError",
+    "CompileProvenance",
+    "PartialCompileResult",
     "compile_classifier",
     "compile_tree",
+    "partial_compile_classifier",
+    "ENGINE_BACKENDS",
+    "NUMBA_AVAILABLE",
+    "available_backends",
+    "resolve_backend",
     "DEFAULT_FLOW_CACHE_SIZE",
     "FlowCache",
     "FlowCacheStats",

@@ -21,6 +21,17 @@ Compilation happens in three steps:
 The result is a :class:`~repro.engine.dispatch.CompiledClassifier` holding
 one :class:`~repro.engine.layout.FlatTree` per partition of each tree of the
 source classifier.
+
+**Partial recompilation.**  :func:`compile_classifier` records a
+:class:`CompileProvenance` on its result — which source tree produced which
+span of flat trees, at which version, from which expanded roots — and
+:func:`partial_compile_classifier` uses it to rebuild *only* the subtrees
+whose rules changed: flat trees of untouched subtrees are carried into the
+new engine by reference, and the shared distinct-rule list is patched in
+place (append-only, so the still-serving engine's indices never move).  Any
+structural surprise — different tree objects, a partition that changed its
+expansion, clones in the expansion — falls back to a full rebuild, so the
+fast path can never be wrong, only missed.
 """
 
 from __future__ import annotations
@@ -116,7 +127,9 @@ def _expand_partitions(node: Node) -> List[Node]:
     if total == 1:
         return [node]
     # Cartesian product over per-child variants: each combination is a clone
-    # of this node routing into one member of every nested partition.
+    # of this node routing into one member of every nested partition.  Note
+    # for partial recompilation: clones are fresh objects, so an expansion
+    # that reaches this point is *unstable* (see _partition_frontier).
     roots: List[Node] = []
     indices = [0] * len(variant_lists)
     for _ in range(total):
@@ -137,6 +150,24 @@ def _expand_partitions(node: Node) -> List[Node]:
                 break
             indices[pos] = 0
     return roots
+
+
+def _partition_frontier(node: Node) -> List[Node]:
+    """The nodes just below the tree's partition structure, in tree order.
+
+    Descends through partition nodes only.  When no partition sits *below*
+    a cut, :func:`_expand_partitions` returns exactly these nodes (by
+    identity, no clones) — the *stable* case partial recompilation needs:
+    every frontier node is a live node of the interpreter tree that rule
+    updates mutate in place, so "which subtree did this delta touch" is
+    answerable by looking at the frontier nodes' rule lists.
+    """
+    if not node.is_leaf and node.is_partition_node:
+        frontier: List[Node] = []
+        for child in node.children:
+            frontier.extend(_partition_frontier(child))
+        return frontier
+    return [node]
 
 
 # --------------------------------------------------------------------------- #
@@ -214,9 +245,16 @@ def _normalize_multicut(node: Node) -> object:
 # Step 3: flattening
 # --------------------------------------------------------------------------- #
 
-def _flatten(root: object, rule_slot: Dict[int, int],
+def _flatten(root: object, rule_slot: Dict[Rule, int],
              rules_out: List[Rule]) -> FlatTree:
-    """Lay a normalised tree out breadth-first into the structured arrays."""
+    """Lay a normalised tree out breadth-first into the structured arrays.
+
+    ``rule_slot`` keys are the (frozen, hashable) rules themselves, not
+    object ids: ids of dead objects get recycled, which would silently
+    alias two different rules across the generations of a partially
+    recompiled classifier.  Keying by value also dedupes equal rules, which
+    is sound because equal rules match identically at equal priority.
+    """
     queue = deque([(root, 0)])
     records: List[tuple] = []
     next_index = 1
@@ -231,7 +269,7 @@ def _flatten(root: object, rule_slot: Dict[int, int],
         if isinstance(node, _Leaf):
             start = len(leaf_rows)
             for rule in node.rules:
-                slot = rule_slot.setdefault(id(rule), len(rules_out))
+                slot = rule_slot.setdefault(rule, len(rules_out))
                 if slot == len(rules_out):
                     rules_out.append(rule)
                 leaf_rows.append(
@@ -275,10 +313,60 @@ def _flatten(root: object, rule_slot: Dict[int, int],
 
 
 # --------------------------------------------------------------------------- #
+# Provenance (what partial recompilation needs to remember)
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class CompileProvenance:
+    """How a :class:`CompiledClassifier` was derived from its source trees.
+
+    ``spans[t]`` is the half-open range of ``classifier.subtrees`` compiled
+    from source tree ``t`` (one :class:`FlatTree` per expanded root);
+    ``roots[t]`` holds that tree's expanded roots when the expansion was
+    *stable* (every root is a live node of the interpreter tree — see
+    :func:`_partition_frontier`), else ``None``.  ``rule_slot`` is the
+    live index into the engine's shared distinct-rule list; partial
+    recompiles extend both in place.
+    """
+
+    trees: Tuple[DecisionTree, ...]
+    versions: Tuple[int, ...]
+    spans: Tuple[Tuple[int, int], ...]
+    roots: Tuple[Optional[Tuple[Node, ...]], ...]
+    rule_slot: Dict[Rule, int]
+
+
+@dataclass
+class PartialCompileResult:
+    """What :func:`partial_compile_classifier` did, for metrics and tests."""
+
+    classifier: "CompiledClassifier"  # noqa: F821 - forward ref
+    #: True when provenance could not be exploited and everything rebuilt.
+    full_rebuild: bool
+    #: Source trees whose flat spans were (at least partly) re-flattened.
+    trees_recompiled: int
+    #: Flat search trees carried into the new engine by reference.
+    subtrees_reused: int
+    #: Flat-array node rows actually rebuilt (O(delta), not O(tree)).
+    nodes_recompiled: int
+
+
+def _expand_with_stability(tree: DecisionTree
+                           ) -> Tuple[List[Node], Optional[Tuple[Node, ...]]]:
+    """Expanded roots of ``tree`` plus their stable form (None if cloned)."""
+    roots = _expand_partitions(tree.root)
+    frontier = _partition_frontier(tree.root)
+    stable = (len(roots) == len(frontier)
+              and all(a is b for a, b in zip(roots, frontier)))
+    return roots, tuple(roots) if stable else None
+
+
+# --------------------------------------------------------------------------- #
 # Entry points
 # --------------------------------------------------------------------------- #
 
-def compile_tree(tree: DecisionTree, rule_slot: Optional[Dict[int, int]] = None,
+def compile_tree(tree: DecisionTree,
+                 rule_slot: Optional[Dict[Rule, int]] = None,
                  rules_out: Optional[List[Rule]] = None) -> List[FlatTree]:
     """Compile one interpreter tree into its flat search trees."""
     rule_slot = rule_slot if rule_slot is not None else {}
@@ -289,23 +377,170 @@ def compile_tree(tree: DecisionTree, rule_slot: Optional[Dict[int, int]] = None,
     ]
 
 
-def compile_classifier(classifier, flow_cache_size: Optional[int] = None):
+def compile_classifier(classifier, flow_cache_size: Optional[int] = None,
+                       backend: str = "numpy"):
     """Compile a :class:`~repro.tree.lookup.TreeClassifier` for the engine.
 
     Returns a :class:`~repro.engine.dispatch.CompiledClassifier` that
     resolves the highest-priority match across every tree and partition in
-    one pass over the compiled search trees.
+    one pass over the compiled search trees, traversing with the given
+    ``backend`` (see :data:`repro.engine.kernels.ENGINE_BACKENDS`).  The
+    result carries a :class:`CompileProvenance` so later deltas can go
+    through :func:`partial_compile_classifier`.
     """
     from repro.engine.dispatch import CompiledClassifier
 
-    rule_slot: Dict[int, int] = {}
+    rule_slot: Dict[Rule, int] = {}
     rules_out: List[Rule] = []
     subtrees: List[FlatTree] = []
+    spans: List[Tuple[int, int]] = []
+    roots_record: List[Optional[Tuple[Node, ...]]] = []
     for tree in classifier.trees:
-        subtrees.extend(compile_tree(tree, rule_slot, rules_out))
-    return CompiledClassifier(
+        roots, stable_roots = _expand_with_stability(tree)
+        start = len(subtrees)
+        subtrees.extend(
+            _flatten(_normalize(root), rule_slot, rules_out) for root in roots
+        )
+        spans.append((start, len(subtrees)))
+        roots_record.append(stable_roots)
+    compiled = CompiledClassifier(
         subtrees=subtrees,
         rules=rules_out,
         name=classifier.name,
         flow_cache_size=flow_cache_size,
+        backend=backend,
+    )
+    # Share (not copy) the distinct-rule list: partial recompiles append to
+    # it in place and every engine generation indexes the same storage.
+    compiled.rules = rules_out
+    compiled.provenance = CompileProvenance(
+        trees=tuple(classifier.trees),
+        versions=tuple(tree.version for tree in classifier.trees),
+        spans=tuple(spans),
+        roots=tuple(roots_record),
+        rule_slot=rule_slot,
+    )
+    return compiled
+
+
+def partial_compile_classifier(
+    classifier,
+    previous,
+    dirty_roots: Optional[set] = None,
+    flow_cache_size: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> PartialCompileResult:
+    """Recompile only what a rule delta touched; reuse the rest by reference.
+
+    ``previous`` is the engine currently compiled from ``classifier``
+    (before the delta bumped tree versions); ``dirty_roots`` narrows the
+    rebuild to the expanded roots whose rules changed, given as a set of
+    ``id(node)`` over the provenance's stable roots.  When provided it is
+    *authoritative*: unflagged roots of a version-changed tree are reused
+    by reference — a tree's version can move without any of its node rule
+    lists changing (e.g. a remove that only touched the shared ruleset of
+    a partitioned classifier), and rebuilding such trees would make every
+    delta O(classifier) again.  Callers must therefore flag every stable
+    root whose rule lists the delta touched, the way
+    :meth:`~repro.serve.engines.EngineSlot._dirty_roots_for` does (removes
+    mapped *before* the trees mutate, adds after).  ``None`` means the
+    delta is unknown — every root of every version-changed tree rebuilds.
+
+    The fast path holds exactly when the delta stayed inside the recorded
+    structure: same tree objects, and each changed tree re-expands to the
+    *same* root nodes.  Anything else — adopted trees, a partition that
+    gained or lost members, clone-producing expansions — returns a full
+    rebuild (``full_rebuild=True``), so the answer is always the one
+    :func:`compile_classifier` would give.  Either way the result is a
+    fresh :class:`CompiledClassifier`; the still-serving ``previous`` is
+    never mutated beyond appends to the shared rule list.
+    """
+    if backend is None:
+        backend = previous.backend
+
+    def full() -> PartialCompileResult:
+        compiled = compile_classifier(
+            classifier, flow_cache_size=flow_cache_size, backend=backend)
+        return PartialCompileResult(
+            classifier=compiled,
+            full_rebuild=True,
+            trees_recompiled=len(compiled.provenance.trees),
+            subtrees_reused=0,
+            nodes_recompiled=compiled.num_nodes,
+        )
+
+    from repro.engine.dispatch import CompiledClassifier
+
+    provenance: Optional[CompileProvenance] = getattr(
+        previous, "provenance", None)
+    if provenance is None:
+        return full()
+    trees = tuple(classifier.trees)
+    if len(trees) != len(provenance.trees) or any(
+            tree is not prev for tree, prev in zip(trees, provenance.trees)):
+        return full()
+
+    rule_slot = provenance.rule_slot
+    rules_out = previous.rules  # append-only; previous keeps serving from it
+    subtrees: List[FlatTree] = []
+    spans: List[Tuple[int, int]] = []
+    roots_record: List[Optional[Tuple[Node, ...]]] = []
+    trees_recompiled = 0
+    subtrees_reused = 0
+    nodes_recompiled = 0
+    for index, tree in enumerate(trees):
+        start, end = provenance.spans[index]
+        old_flats = previous.subtrees[start:end]
+        span_start = len(subtrees)
+        if tree.version == provenance.versions[index]:
+            # Untouched by the delta: its flat arrays are still exact.
+            subtrees.extend(old_flats)
+            subtrees_reused += len(old_flats)
+            spans.append((span_start, len(subtrees)))
+            roots_record.append(provenance.roots[index])
+            continue
+        old_roots = provenance.roots[index]
+        roots, stable_roots = _expand_with_stability(tree)
+        if (old_roots is None or stable_roots is None
+                or len(roots) != len(old_roots)
+                or any(root is not old
+                       for root, old in zip(roots, old_roots))):
+            # The delta moved the partition structure itself; the span
+            # bookkeeping no longer lines up root-for-root.
+            return full()
+        tree_rebuilt = False
+        for offset, root in enumerate(roots):
+            if dirty_roots is not None and id(root) not in dirty_roots:
+                subtrees.append(old_flats[offset])
+                subtrees_reused += 1
+            else:
+                flat = _flatten(_normalize(root), rule_slot, rules_out)
+                subtrees.append(flat)
+                nodes_recompiled += flat.num_nodes
+                tree_rebuilt = True
+        trees_recompiled += tree_rebuilt
+        spans.append((span_start, len(subtrees)))
+        roots_record.append(stable_roots)
+
+    compiled = CompiledClassifier(
+        subtrees=subtrees,
+        rules=rules_out,
+        name=previous.name,
+        flow_cache_size=flow_cache_size,
+        backend=backend,
+    )
+    compiled.rules = rules_out
+    compiled.provenance = CompileProvenance(
+        trees=trees,
+        versions=tuple(tree.version for tree in trees),
+        spans=tuple(spans),
+        roots=tuple(roots_record),
+        rule_slot=rule_slot,
+    )
+    return PartialCompileResult(
+        classifier=compiled,
+        full_rebuild=False,
+        trees_recompiled=trees_recompiled,
+        subtrees_reused=subtrees_reused,
+        nodes_recompiled=nodes_recompiled,
     )

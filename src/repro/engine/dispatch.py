@@ -21,7 +21,15 @@ from repro.engine.layout import NO_MATCH_PRIORITY, FlatTree, packets_to_array
 
 
 class CompiledClassifier:
-    """A fully compiled packet classifier ready for batched execution."""
+    """A fully compiled packet classifier ready for batched execution.
+
+    ``backend`` names the traversal engine (see
+    :data:`repro.engine.kernels.ENGINE_BACKENDS`): ``"numpy"`` is the
+    level-synchronous array walk, ``"numba"`` the jitted per-packet
+    kernels, ``"auto"`` picks numba when installed.  The name is resolved
+    eagerly, so an unavailable backend fails at construction rather than
+    on the first batch.
+    """
 
     def __init__(
         self,
@@ -29,6 +37,7 @@ class CompiledClassifier:
         rules: Sequence[Rule],
         name: str = "",
         flow_cache_size: Optional[int] = None,
+        backend: str = "numpy",
     ) -> None:
         if not subtrees:
             raise ValueError("a compiled classifier needs at least one tree")
@@ -36,8 +45,26 @@ class CompiledClassifier:
         self.rules: List[Rule] = list(rules)
         self.name = name
         self.flow_cache: Optional[FlowCache] = None
+        #: Set by compile_classifier / partial_compile_classifier; None for
+        #: hand-assembled engines (which can only ever be fully rebuilt).
+        self.provenance = None
+        self.backend = "numpy"
+        self.set_backend(backend)
         if flow_cache_size is not None:
             self.attach_flow_cache(flow_cache_size)
+
+    def set_backend(self, backend: str) -> str:
+        """Switch the traversal backend in place; returns the resolved name.
+
+        Purely a dispatch change — the flat arrays, rule list, and flow
+        cache are untouched, so swapping backends mid-flight cannot change
+        any answer (the differential suite holds all backends to
+        byte-identical match indices).
+        """
+        from repro.engine.kernels import resolve_backend
+
+        self.backend = resolve_backend(backend)
+        return self.backend
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -93,6 +120,12 @@ class CompiledClassifier:
         n = len(values)
         best_priority = np.full(n, NO_MATCH_PRIORITY, dtype=np.int64)
         best_rule = np.full(n, -1, dtype=np.int64)
+        if self.backend == "numba":
+            from repro.engine import kernels
+
+            for tree in self.subtrees:
+                kernels.match_into(tree, values, best_priority, best_rule)
+            return best_rule
         for tree in self.subtrees:
             rows = tree.lookup(values)
             found = np.nonzero(rows >= 0)[0]
@@ -117,8 +150,9 @@ class CompiledClassifier:
         cache = self.flow_cache
         result = np.empty(len(values), dtype=np.int64)
         misses: dict = {}  # flow key -> positions awaiting the result
-        for i, row in enumerate(values):
-            key = (int(row[0]), int(row[1]), int(row[2]), int(row[3]), int(row[4]))
+        # tolist() converts the whole batch to Python ints in one C call;
+        # the per-row tuples are the same 5-int keys the cache always used.
+        for i, key in enumerate(map(tuple, values.tolist())):
             pending = misses.get(key)
             if pending is not None:
                 pending.append(i)

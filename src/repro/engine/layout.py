@@ -69,6 +69,40 @@ RULE_DTYPE = np.dtype(
 #: Sentinel priority smaller than any real rule priority.
 NO_MATCH_PRIORITY = np.iinfo(np.int64).min
 
+#: Columns of the unstructured int64 node view handed to the native kernels
+#: (:meth:`FlatTree.kernel_tables`).  ``num_children`` is deliberately absent:
+#: child selection needs only ``child_start`` plus the cut arithmetic.
+COL_KIND = 0
+COL_DIM = 1
+COL_LO = 2
+COL_BASE = 3
+COL_REM = 4
+COL_POINT = 5
+COL_CHILD_START = 6
+COL_RULE_START = 7
+COL_RULE_END = 8
+NUM_NODE_COLUMNS = 9
+
+
+@dataclass(frozen=True)
+class KernelTables:
+    """Unstructured, C-contiguous int64 views of a :class:`FlatTree`.
+
+    Structured arrays are convenient for the NumPy engine but hostile to
+    jitted kernels (field access on a record dtype is not nopython-typable
+    and field views are strided).  This is the same data re-packed as plain
+    matrices: ``nodes`` is ``(num_nodes, 9)`` with the :data:`COL_KIND`...
+    :data:`COL_RULE_END` columns, and the leaf-rule table is split into
+    ``leaf_lo``/``leaf_hi`` ``(num_leaf_rules, 5)`` boxes plus flat
+    ``leaf_priority``/``leaf_rule_index`` vectors.
+    """
+
+    nodes: np.ndarray
+    leaf_lo: np.ndarray
+    leaf_hi: np.ndarray
+    leaf_priority: np.ndarray
+    leaf_rule_index: np.ndarray
+
 
 @dataclass
 class FlatTree:
@@ -84,6 +118,41 @@ class FlatTree:
             raise TypeError("nodes array must use NODE_DTYPE")
         if self.leaf_rules.dtype != RULE_DTYPE:
             raise TypeError("leaf rule array must use RULE_DTYPE")
+        self._kernel_tables: KernelTables | None = None
+
+    def kernel_tables(self) -> KernelTables:
+        """The unstructured views the native kernels walk (built once).
+
+        The flat arrays never mutate after compilation (updates build new
+        trees), so the repack is cached on the instance and shared by every
+        kernel call against this tree.
+        """
+        tables = self._kernel_tables
+        if tables is None:
+            nodes = np.empty((len(self.nodes), NUM_NODE_COLUMNS),
+                             dtype=np.int64)
+            src = self.nodes
+            nodes[:, COL_KIND] = src["kind"]
+            nodes[:, COL_DIM] = src["dim"]
+            nodes[:, COL_LO] = src["lo"]
+            nodes[:, COL_BASE] = src["base"]
+            nodes[:, COL_REM] = src["rem"]
+            nodes[:, COL_POINT] = src["point"]
+            nodes[:, COL_CHILD_START] = src["child_start"]
+            nodes[:, COL_RULE_START] = src["rule_start"]
+            nodes[:, COL_RULE_END] = src["rule_end"]
+            rules = self.leaf_rules
+            tables = KernelTables(
+                nodes=nodes,
+                leaf_lo=np.ascontiguousarray(rules["lo"], dtype=np.int64),
+                leaf_hi=np.ascontiguousarray(rules["hi"], dtype=np.int64),
+                leaf_priority=np.ascontiguousarray(rules["priority"],
+                                                   dtype=np.int64),
+                leaf_rule_index=np.ascontiguousarray(
+                    rules["rule_index"], dtype=np.int64),
+            )
+            self._kernel_tables = tables
+        return tables
 
     @property
     def num_nodes(self) -> int:
@@ -101,13 +170,19 @@ class FlatTree:
     # Vectorised lookup
     # ------------------------------------------------------------------ #
 
-    def descend(self, values: np.ndarray) -> np.ndarray:
+    def descend(self, values: np.ndarray, backend: str = "numpy") -> np.ndarray:
         """Return the leaf node index reached by every packet of a batch.
 
-        ``values`` is an ``(n, 5)`` int64 array of packet headers.  All
-        packets advance one level per iteration; the loop runs at most
-        ``depth`` times regardless of batch size.
+        ``values`` is an ``(n, 5)`` int64 array of packet headers.  Under
+        the default numpy backend all packets advance one level per
+        iteration; the loop runs at most ``depth`` times regardless of
+        batch size.  ``backend="numba"`` walks per packet in the native
+        kernels instead (same leaf indices, byte for byte).
         """
+        if backend == "numba":
+            from repro.engine import kernels
+
+            return kernels.descend(self, values)
         nodes = self.nodes
         cur = np.zeros(len(values), dtype=np.int64)
         active = nodes["kind"][cur] != KIND_LEAF
@@ -136,14 +211,20 @@ class FlatTree:
             active = nodes["kind"][cur] != KIND_LEAF
         return cur
 
-    def lookup(self, values: np.ndarray) -> np.ndarray:
+    def lookup(self, values: np.ndarray, backend: str = "numpy") -> np.ndarray:
         """Classify a batch against this tree.
 
         Returns an ``(n,)`` int64 array of rows into :attr:`leaf_rules`
         (``-1`` where the reached leaf matches nothing).  Leaf spans are
         scanned highest-priority-first in lockstep across the batch, so the
-        Python-level work is bounded by the widest leaf, not the batch size.
+        Python-level work is bounded by the widest leaf, not the batch
+        size; ``backend="numba"`` scans per packet in the native kernels
+        instead, returning the identical rows.
         """
+        if backend == "numba":
+            from repro.engine import kernels
+
+            return kernels.lookup_rows(self, values)
         leaves = self.descend(values)
         start = self.nodes["rule_start"][leaves].astype(np.int64)
         end = self.nodes["rule_end"][leaves].astype(np.int64)

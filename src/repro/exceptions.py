@@ -47,6 +47,12 @@ class TraceFormatError(TraceError):
     referencing a tenant the trace never declared)."""
 
 
+class EngineBackendError(ReproError):
+    """A traversal backend was requested that this installation cannot run
+    (e.g. ``"numba"`` without the optional ``repro[native]`` dependency), or
+    the backend name is not in ``repro.engine.kernels.ENGINE_BACKENDS``."""
+
+
 class BenchError(ReproError):
     """A benchmark scorecard could not be produced or compared."""
 

@@ -303,6 +303,7 @@ def run_serving(
     retrain_policy: Optional[RetrainPolicy] = None,
     serving_workers: int = 1,
     serving_backend: str = "process",
+    engine_backend: str = "numpy",
     trace_path: Optional[Union[str, Path, ServingTrace]] = None,
     seed: int = 0,
 ):
@@ -331,6 +332,10 @@ def run_serving(
     ``families``, ``num_packets``, ``churn_events``, ...) are ignored.  The
     serving knobs still apply, so a trace can be replayed with a different
     batch size, cache size, shard count, or retrain policy.
+
+    ``engine_backend`` selects the compiled-engine traversal backend for
+    every tenant slot (``"numpy"``, ``"numba"``, or ``"auto"``; see
+    :data:`repro.engine.kernels.ENGINE_BACKENDS`).
     """
     if serving_workers < 1:
         raise ValueError("serving_workers must be >= 1")
@@ -384,6 +389,7 @@ def run_serving(
             retrain_threshold=retrain_threshold
             if retrain_threshold is not None else DEFAULT_RETRAIN_THRESHOLD,
             retrain_policy=retrain_policy,
+            engine_backend=engine_backend,
         )
         return ShardedServingResult(report=report, workload=workload,
                                     outcomes=outcomes, plan=plan)
@@ -392,7 +398,8 @@ def run_serving(
                               background_swaps=background_swaps,
                               default_retrain_threshold=retrain_threshold
                               if retrain_threshold is not None
-                              else DEFAULT_RETRAIN_THRESHOLD)
+                              else DEFAULT_RETRAIN_THRESHOLD,
+                              engine_backend=engine_backend)
     for spec in specs:
         registry.register(spec.tenant_id, workload.rulesets[spec.tenant_id],
                           algorithm=spec.algorithm, binth=spec.binth)

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.engine.cache import DEFAULT_FLOW_CACHE_SIZE, FlowCacheStats
-from repro.engine.compile import compile_classifier
+from repro.engine.compile import compile_classifier, \
+    partial_compile_classifier
 from repro.engine.dispatch import CompiledClassifier
 from repro.neurocuts.updates import IncrementalUpdater
 from repro.obs.metrics import MetricsRegistry
@@ -117,20 +118,34 @@ class EngineSlot:
         background: bool = True,
         retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD,
         metrics: Optional[MetricsRegistry] = None,
+        engine_backend: str = "numpy",
+        partial_recompile: bool = True,
     ) -> None:
         self.tenant_id = tenant_id
         self.classifier = classifier
         self.flow_cache_size = flow_cache_size
         self.background = background
         self.retrain_threshold = retrain_threshold
+        self.engine_backend = engine_backend
+        #: When True (the default), update rebuilds go through
+        #: partial_compile_classifier: only subtrees the delta touched are
+        #: re-flattened, everything else is reused by reference.
+        self.partial_recompile = partial_recompile
         self.swap_stats = SwapStats()
         #: Phase-timer spans land here; a registry-owned MetricsRegistry is
         #: shared across slots (see TenantRegistry), else the slot owns one.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        # The builder thread records compile spans, so the series must
-        # exist before any build starts (list.append is GIL-atomic; series
-        # creation is not).
+        # The builder thread records compile spans and counters, so every
+        # series must exist before any build starts (list.append and the
+        # int += are GIL-atomic under the one-builder-at-a-time invariant;
+        # series *creation* is not).
         self._compile_timing = self.metrics.timing("engine.compile_seconds")
+        self._partial_timing = self.metrics.timing(
+            "engine.partial_compile_seconds")
+        self._full_compiles = self.metrics.counter("engine.compiles_full")
+        self._partial_compiles = self.metrics.counter(
+            "engine.compiles_partial")
+        self._nodes_recompiled = self.metrics.gauge("engine.nodes_recompiled")
         self._install_timing = self.metrics.timing(
             "serve.swap_install_seconds")
         #: Flow-cache counters of engines already retired by swaps.
@@ -141,7 +156,9 @@ class EngineSlot:
         ]
         with self.metrics.span("engine.compile_seconds"):
             self._active = compile_classifier(classifier,
-                                              flow_cache_size=flow_cache_size)
+                                              flow_cache_size=flow_cache_size,
+                                              backend=engine_backend)
+        self._full_compiles.inc()
         self._rulesets: List[RuleSet] = [classifier.ruleset]
         self.epoch = 0
         self._builder: Optional[threading.Thread] = None
@@ -233,18 +250,46 @@ class EngineSlot:
         # keeps updates strictly ordered — every epoch's engine corresponds
         # to exactly one ruleset snapshot.
         self._join_builder(count_stall=True)
+        # Removed rules must be mapped to their subtrees *before* the
+        # updaters strip them from the node rule lists.
+        dirty_roots = self._dirty_roots_for(removes)
         for rule in removes:
             for updater in self._updaters:
                 updater.remove_rule(rule)
         for rule in adds:
             self._updaters[0].add_rule(rule)
+        if dirty_roots is not None:
+            # Additions sit on their insert path now; map them after.
+            dirty_roots |= self._dirty_roots_for(adds)
         ruleset = self.ruleset
         if removes:
             ruleset = ruleset.with_rules_removed(removes)
         if adds:
             ruleset = ruleset.with_rules_added(adds)
         self.classifier.ruleset = ruleset
-        self._start_build(ruleset)
+        self._start_build(ruleset, dirty_roots=dirty_roots)
+
+    def _dirty_roots_for(self, rules: Sequence[Rule]) -> Optional[set]:
+        """Ids of the active engine's stable expanded roots holding ``rules``.
+
+        Returns ``None`` when partial recompilation is off or the active
+        engine carries no provenance (hand-assembled engine) — the build
+        then falls back to recompiling every changed tree in full.
+        """
+        if not self.partial_recompile:
+            return None
+        provenance = getattr(self._active, "provenance", None)
+        if provenance is None:
+            return None
+        dirty: set = set()
+        for rule in rules:
+            for tree_roots in provenance.roots:
+                if tree_roots is None:
+                    continue
+                for root in tree_roots:
+                    if rule in root.rules:
+                        dirty.add(id(root))
+        return dirty
 
     def adopt_classifier(self, classifier: TreeClassifier,
                          base_ruleset: Optional[RuleSet] = None) -> None:
@@ -323,19 +368,45 @@ class EngineSlot:
     def _versions(self) -> Tuple[int, ...]:
         return tuple(tree.version for tree in self.classifier.trees)
 
-    def _start_build(self, target_ruleset: RuleSet) -> None:
+    def _start_build(self, target_ruleset: RuleSet,
+                     dirty_roots: Optional[set] = None) -> None:
         target_versions = self._versions()
+        # Captured on the serving thread: _active cannot change while this
+        # build is in flight (installs only happen once the builder exits).
+        previous = self._active
 
         def build() -> None:
             # The builder only *reads* the trees; the main thread never
             # mutates them while a build is in flight (apply_update joins
             # first), so no lock is needed around the traversal.
             started = time.perf_counter()
-            shadow = compile_classifier(
-                self.classifier, flow_cache_size=self.flow_cache_size
-            )
-            self._shadow_build_seconds = time.perf_counter() - started
-            self._compile_timing.observe(self._shadow_build_seconds)
+            if self.partial_recompile:
+                result = partial_compile_classifier(
+                    self.classifier,
+                    previous,
+                    dirty_roots=dirty_roots,
+                    flow_cache_size=self.flow_cache_size,
+                    backend=self.engine_backend,
+                )
+                shadow = result.classifier
+                elapsed = time.perf_counter() - started
+                if result.full_rebuild:
+                    self._full_compiles.inc()
+                    self._compile_timing.observe(elapsed)
+                else:
+                    self._partial_compiles.inc()
+                    self._partial_timing.observe(elapsed)
+                    self._nodes_recompiled.set(result.nodes_recompiled)
+            else:
+                shadow = compile_classifier(
+                    self.classifier,
+                    flow_cache_size=self.flow_cache_size,
+                    backend=self.engine_backend,
+                )
+                elapsed = time.perf_counter() - started
+                self._full_compiles.inc()
+                self._compile_timing.observe(elapsed)
+            self._shadow_build_seconds = elapsed
             self._shadow = shadow
             self._shadow_ruleset = target_ruleset
             self._shadow_versions = target_versions

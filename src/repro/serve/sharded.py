@@ -120,6 +120,7 @@ class ShardTask:
     record_batches: bool = False
     retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD
     retrain_policy: Optional[RetrainPolicy] = None
+    engine_backend: str = "numpy"
 
 
 @dataclass
@@ -147,6 +148,7 @@ def serve_shard(task: ShardTask) -> ShardOutcome:
         default_flow_cache_size=task.flow_cache_size,
         background_swaps=task.background_swaps,
         default_retrain_threshold=task.retrain_threshold,
+        engine_backend=task.engine_backend,
     )
     for tenant in task.tenants:
         registry.register(tenant.tenant_id, task.rulesets[tenant.tenant_id],
@@ -282,6 +284,7 @@ def serve_sharded(
     record_batches: bool = False,
     retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD,
     retrain_policy: Optional[RetrainPolicy] = None,
+    engine_backend: str = "numpy",
 ) -> Tuple[List[ShardOutcome], ServingReport, ShardPlan]:
     """Serve a multi-tenant workload sharded across ``num_workers`` workers.
 
@@ -320,6 +323,7 @@ def serve_sharded(
             record_batches=record_batches,
             retrain_threshold=retrain_threshold,
             retrain_policy=retrain_policy,
+            engine_backend=engine_backend,
         ))
     executor = make_executor(max(1, len(tasks)), backend=backend)
     started = time.perf_counter()

@@ -1,0 +1,249 @@
+"""Partial recompilation: provenance, O(delta) rebuilds, slot metrics.
+
+The fast path (:func:`repro.engine.partial_compile_classifier`) must only
+ever *miss* — every fallback returns exactly what a full
+:func:`compile_classifier` would — so these tests pin both sides: the reuse
+accounting (which flat trees were carried by reference, how many node rows
+were rebuilt) and the answers (partial output equals a fresh compile equals
+linear search).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import EffiCutsBuilder, HiCutsBuilder
+from repro.classbench import generate_classifier
+from repro.engine import (
+    CompiledClassifier,
+    compile_classifier,
+    packets_to_array,
+    partial_compile_classifier,
+)
+from repro.neurocuts import IncrementalUpdater
+from repro.obs.metrics import MetricsRegistry
+from repro.rules import Rule
+from repro.serve import EngineSlot
+
+
+def _fresh_rule(ruleset, name="hot"):
+    """A rule strictly above every live priority (unambiguous tie-break)."""
+    priority = max(r.priority for r in ruleset.rules) + 1
+    return Rule.from_prefixes(src_ip="198.51.100.0/24", protocol=6,
+                              priority=priority, name=name)
+
+
+def _victim(ruleset):
+    return next(r for r in ruleset.rules if r.num_wildcard_dims() < 5)
+
+
+def _dirty_roots(provenance, rules):
+    """The same delta-to-subtree mapping EngineSlot computes."""
+    dirty = set()
+    for rule in rules:
+        for tree_roots in provenance.roots:
+            if tree_roots is None:
+                continue
+            for root in tree_roots:
+                if rule in root.rules:
+                    dirty.add(id(root))
+    return dirty
+
+
+def _apply_delta(classifier, adds=(), removes=()):
+    """Mutate the trees and ruleset the way the serving layer does."""
+    updaters = [IncrementalUpdater(tree) for tree in classifier.trees]
+    previous_provenance_rules = removes
+    dirty = None  # computed by the caller against provenance
+    for rule in removes:
+        for updater in updaters:
+            updater.remove_rule(rule)
+    for rule in adds:
+        updaters[0].add_rule(rule)
+    ruleset = classifier.ruleset
+    if removes:
+        ruleset = ruleset.with_rules_removed(removes)
+    if adds:
+        ruleset = ruleset.with_rules_added(adds)
+    classifier.ruleset = ruleset
+
+
+def _priorities(matches):
+    return [m.priority if m else None for m in matches]
+
+
+@pytest.fixture()
+def hicuts():
+    ruleset = generate_classifier("acl1", 120, seed=3)
+    return HiCutsBuilder(binth=8).build(ruleset)
+
+
+@pytest.fixture()
+def efficuts():
+    ruleset = generate_classifier("fw1", 150, seed=0)
+    return EffiCutsBuilder(binth=8).build(ruleset)
+
+
+class TestProvenance:
+    def test_compile_attaches_provenance(self, efficuts):
+        compiled = compile_classifier(efficuts)
+        prov = compiled.provenance
+        assert prov is not None
+        assert prov.trees == tuple(efficuts.trees)
+        assert prov.versions == tuple(t.version for t in efficuts.trees)
+        # Spans tile the subtree list tree-for-tree.
+        assert prov.spans[0][0] == 0
+        assert prov.spans[-1][1] == compiled.num_subtrees
+        for (_, end), (start, _) in zip(prov.spans, prov.spans[1:]):
+            assert end == start
+        # The rule-slot map IS the index into the shared rule list.
+        for rule, slot in prov.rule_slot.items():
+            assert compiled.rules[slot] == rule
+
+    def test_hand_assembled_engine_has_no_provenance(self, hicuts):
+        compiled = compile_classifier(hicuts)
+        bare = CompiledClassifier(subtrees=compiled.subtrees,
+                                  rules=compiled.rules)
+        assert bare.provenance is None
+
+
+class TestPartialCompile:
+    def test_noop_delta_reuses_every_subtree(self, efficuts):
+        previous = compile_classifier(efficuts)
+        result = partial_compile_classifier(efficuts, previous,
+                                            dirty_roots=set())
+        assert not result.full_rebuild
+        assert result.trees_recompiled == 0
+        assert result.nodes_recompiled == 0
+        assert result.subtrees_reused == previous.num_subtrees
+        for new, old in zip(result.classifier.subtrees, previous.subtrees):
+            assert new is old
+        assert result.classifier.rules is previous.rules
+
+    def test_delta_rebuilds_only_what_it_touched(self, efficuts):
+        ruleset = efficuts.ruleset
+        previous = compile_classifier(efficuts)
+        removes = [_victim(ruleset)]
+        adds = [_fresh_rule(ruleset)]
+        dirty = _dirty_roots(previous.provenance, removes)
+        _apply_delta(efficuts, adds=adds, removes=removes)
+        dirty |= _dirty_roots(previous.provenance, adds)
+
+        result = partial_compile_classifier(efficuts, previous,
+                                            dirty_roots=dirty)
+        assert not result.full_rebuild
+        assert result.trees_recompiled >= 1
+        assert 0 < result.nodes_recompiled <= result.classifier.num_nodes
+        # Only the flagged subtrees were re-flattened; the other categories
+        # of the partitioned classifier were carried by reference even
+        # though the shared ruleset bumped every tree's version.
+        assert result.subtrees_reused == \
+            result.classifier.num_subtrees - len(dirty)
+        assert result.subtrees_reused > 0
+        # The rule list is shared storage, patched append-only.
+        assert result.classifier.rules is previous.rules
+        assert adds[0] in result.classifier.rules
+
+        # Answers equal a from-scratch compile AND linear search.
+        packets = list(efficuts.ruleset.sample_packets(500, seed=5,
+                                                       rule_bias=0.8))
+        packets.append(efficuts.ruleset.sample_matching_packet(
+            adds[0], random.Random(0)))
+        fresh = compile_classifier(efficuts)
+        got = _priorities(result.classifier.classify_batch(packets))
+        assert got == _priorities(fresh.classify_batch(packets))
+        assert got == _priorities(
+            [efficuts.ruleset.classify(p) for p in packets])
+
+    def test_missing_dirty_map_rebuilds_changed_trees(self, hicuts):
+        previous = compile_classifier(hicuts)
+        _apply_delta(hicuts, adds=[_fresh_rule(hicuts.ruleset)])
+        result = partial_compile_classifier(hicuts, previous,
+                                            dirty_roots=None)
+        assert not result.full_rebuild
+        assert result.trees_recompiled == 1
+        assert result.subtrees_reused == 0
+        assert result.nodes_recompiled == result.classifier.num_nodes
+
+    def test_ruleset_only_version_bump_reuses_subtrees(self, efficuts):
+        # Removing a rule from a partitioned classifier bumps *every*
+        # tree's version (they share the ruleset) but only changes node
+        # rule lists where the rule actually lived.  With an authoritative
+        # dirty map the untouched trees are reused, and the result is
+        # still exact against linear search.
+        ruleset = efficuts.ruleset
+        previous = compile_classifier(efficuts)
+        removes = [_victim(ruleset)]
+        dirty = _dirty_roots(previous.provenance, removes)
+        assert 0 < len(dirty) < previous.num_subtrees
+        _apply_delta(efficuts, removes=removes)
+        result = partial_compile_classifier(efficuts, previous,
+                                            dirty_roots=dirty)
+        assert not result.full_rebuild
+        assert result.trees_recompiled == len(dirty)
+        assert result.subtrees_reused == previous.num_subtrees - len(dirty)
+        packets = efficuts.ruleset.sample_packets(400, seed=3, rule_bias=0.8)
+        got = _priorities(result.classifier.classify_batch(packets))
+        assert got == _priorities(
+            [efficuts.ruleset.classify(p) for p in packets])
+
+    def test_different_trees_force_full_rebuild(self, hicuts):
+        previous = compile_classifier(hicuts)
+        retrained = HiCutsBuilder(binth=12).build(hicuts.ruleset)
+        result = partial_compile_classifier(retrained, previous)
+        assert result.full_rebuild
+        assert result.classifier.provenance is not None
+
+    def test_no_provenance_forces_full_rebuild(self, hicuts):
+        previous = compile_classifier(hicuts)
+        bare = CompiledClassifier(subtrees=previous.subtrees,
+                                  rules=previous.rules)
+        result = partial_compile_classifier(hicuts, bare)
+        assert result.full_rebuild
+
+    def test_backend_is_inherited_from_previous(self, hicuts):
+        previous = compile_classifier(hicuts, backend="numpy")
+        result = partial_compile_classifier(hicuts, previous,
+                                            dirty_roots=set())
+        assert result.classifier.backend == previous.backend == "numpy"
+
+
+class TestEngineSlotPartial:
+    def _slot(self, classifier, **kwargs):
+        metrics = MetricsRegistry()
+        slot = EngineSlot("t0", classifier, flow_cache_size=256,
+                          background=False, metrics=metrics, **kwargs)
+        return slot, metrics
+
+    def test_update_goes_through_partial_recompile(self, hicuts):
+        slot, metrics = self._slot(hicuts)
+        assert metrics.counters["engine.compiles_full"].value == 1
+        victim = _victim(slot.ruleset)
+        slot.apply_update(adds=[_fresh_rule(slot.ruleset)],
+                          removes=[victim])
+        assert metrics.counters["engine.compiles_full"].value == 1
+        assert metrics.counters["engine.compiles_partial"].value == 1
+        assert metrics.timings["engine.partial_compile_seconds"].count == 1
+        assert metrics.timings["engine.compile_seconds"].count == 1
+        assert metrics.gauges["engine.nodes_recompiled"].value > 0
+        # The partially recompiled engine is exact against linear search.
+        packets = slot.ruleset.sample_packets(400, seed=9, rule_bias=0.8)
+        got = _priorities(slot.engine().classify_batch(packets))
+        assert got == _priorities(
+            [slot.ruleset.classify(p) for p in packets])
+
+    def test_partial_recompile_off_means_full_compiles(self, hicuts):
+        slot, metrics = self._slot(hicuts, partial_recompile=False)
+        slot.apply_update(adds=[_fresh_rule(slot.ruleset)])
+        assert metrics.counters["engine.compiles_full"].value == 2
+        assert metrics.counters["engine.compiles_partial"].value == 0
+        assert metrics.gauges["engine.nodes_recompiled"].value == 0
+
+    def test_adopting_retrained_trees_is_a_full_rebuild(self, hicuts):
+        slot, metrics = self._slot(hicuts)
+        retrained = HiCutsBuilder(binth=12).build(slot.ruleset)
+        slot.adopt_classifier(retrained)
+        assert metrics.counters["engine.compiles_full"].value == 2
+        assert metrics.counters["engine.compiles_partial"].value == 0

@@ -13,6 +13,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.baselines import EffiCutsBuilder, HiCutsBuilder
 from repro.classbench import generate_classifier, seed_names
+from repro.engine import packets_to_array
 from repro.rules import DIMENSIONS, FIELD_RANGES, Packet, Rule, RuleSet
 from repro.rules.fields import Dimension, prefix_to_range
 from repro.tree import CUT_SIZES, CutAction, DecisionTree, Node, build_with_policy
@@ -165,6 +166,18 @@ def test_generated_workloads_classify_identically_everywhere(
 
     assert priorities(interpreted) == priorities(linear)
     assert priorities(compiled) == priorities(linear)
+
+    # The native-kernel traversal backend returns byte-identical match
+    # indices (plain-Python kernels without numba, jitted with it).
+    engine = classifier.compile()
+    values = packets_to_array(packets)
+    reference = engine.match_indices(values)
+    engine.backend = "numba"  # kernels path regardless of JIT availability
+    try:
+        kernel_result = engine.match_indices(values)
+    finally:
+        engine.backend = "numpy"
+    assert (kernel_result == reference).all()
 
 
 # --------------------------------------------------------------------------- #
