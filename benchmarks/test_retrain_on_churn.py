@@ -1,66 +1,42 @@
 """Acceptance benchmark for the adaptive serving loop (retrain + sharding).
 
-Two guarantees are asserted end to end:
+Two guarantees are asserted end to end, each against its pinned serving
+scorecard (``repro.harness.scorecard.SERVING_SCORECARDS``) and checked-in
+baseline record:
 
-1. **Retrain-on-churn**: a churn-heavy multi-tenant workload pushes every
-   tenant past its retrain threshold; background NeuroCuts retrains are
-   triggered mid-run, and the freshly trained *trees* (not just recompiled
-   arrays) hot-swap into the serving path with zero dropped and zero
-   misclassified packets — every answer still equals linear search over the
-   exact ruleset generation its engine served.
-2. **Tenant-sharded serving**: the same scenario sharded across N worker
-   processes serves the identical request set with exact merged telemetry;
-   the parallel speedup assertion is gated on available CPUs (a 1-core CI
-   container runs the machinery but skips the bar).
+1. **Retrain-on-churn** (``BENCH_serving_retrain.json``): a churn-heavy
+   multi-tenant workload pushes every tenant past its retrain threshold;
+   NeuroCuts retrains are triggered mid-run, and the freshly trained *trees*
+   (not just recompiled arrays) hot-swap into the serving path with zero
+   dropped and zero misclassified packets — every answer still equals linear
+   search over the exact ruleset generation its engine served.  The
+   scorecard pins ``backend="serial"`` retrains: background training lands
+   on the wall clock, which would make the counters machine-dependent.
+2. **Tenant-sharded serving** (``BENCH_serving_sharded.json``): the same
+   scenario sharded across worker processes serves the identical request set
+   with *exactly* the serial run's deterministic counters (sharding is exact
+   by construction).  The old hard-coded ``speedup >= 1.1`` assert measured
+   the CI machine, not the code; the speedup is now a ``sharded_speedup``
+   timing in the baseline, tolerance-banded only on a comparable machine
+   with parallel headroom.
+
+Regenerate the baselines with ``scripts/make_bench_baselines.py`` when a
+counter change is intentional.
 """
 
 from __future__ import annotations
 
-import os
-
 from repro.harness import format_table
-from repro.harness.serving import run_serving
-from repro.serve import RetrainPolicy
-from repro.workloads import ChurnConfig
-
-NUM_TENANTS = 2
-NUM_RULES = 60
-NUM_PACKETS = 8_000
-RETRAIN_THRESHOLD = 6
+from repro.harness.scorecard import (SERVING_SCORECARDS,
+                                     run_serving_scorecard,
+                                     serving_bench_filename)
+from repro.harness.serving import serving_bench_record
 
 
-def _available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        return os.cpu_count() or 1
-
-
-def test_retrain_on_churn_zero_misclassification(run_once, benchmark):
-    # Size the churn so every tenant crosses the retrain threshold with
-    # trace left to serve under the retrained tree.
-    churn = ChurnConfig.forcing_retrain(RETRAIN_THRESHOLD,
-                                        num_tenants=NUM_TENANTS,
-                                        adds_per_event=4,
-                                        removes_per_event=2)
-    result = run_once(
-        run_serving,
-        num_tenants=NUM_TENANTS,
-        families=("acl1", "ipc1"),
-        num_rules=NUM_RULES,
-        num_packets=NUM_PACKETS,
-        num_flows=400,
-        churn_events=churn.num_events,
-        adds_per_event=churn.adds_per_event,
-        removes_per_event=churn.removes_per_event,
-        retrain_threshold=RETRAIN_THRESHOLD,
-        # The retrain runs on a background thread while serving continues;
-        # a tiny budget keeps the benchmark CI-sized.
-        retrain_policy=RetrainPolicy(timesteps=400, max_iterations=2,
-                                     backend="thread", seed=0),
-        record_batches=True,
-        seed=0,
-    )
+def test_retrain_on_churn_zero_misclassification(run_once, benchmark,
+                                                 bench_gate):
+    cfg = SERVING_SCORECARDS["retrain"]
+    result = run_once(run_serving_scorecard, "retrain")
     report = result.report
 
     print("\n=== Retrain-on-churn serving loop ===")
@@ -77,8 +53,8 @@ def test_retrain_on_churn_zero_misclassification(run_once, benchmark):
     benchmark.extra_info["swaps"] = report.swaps
 
     # The churn demonstrably crossed every tenant's threshold and the
-    # background retrains landed.
-    assert report.retrains_triggered >= NUM_TENANTS, \
+    # retrains landed.
+    assert report.retrains_triggered >= cfg["tenants"], \
         "churn never pushed a tenant past its retrain threshold"
     assert report.retrains_installed == report.retrains_triggered
     assert report.retrains_discarded == 0
@@ -105,50 +81,44 @@ def test_retrain_on_churn_zero_misclassification(run_once, benchmark):
         assert not entry["retrain"]["needs_retraining"], \
             f"{tenant_id} still wants retraining after its retrain landed"
 
+    record = serving_bench_record(report, name="serving-retrain",
+                                  config=dict(cfg), exactness=exactness)
+    bench_gate(record, serving_bench_filename("retrain"))
 
-def test_sharded_serving_merged_telemetry_and_speedup(run_once, benchmark):
-    kwargs = dict(
-        num_tenants=4,
-        families=("acl1", "ipc1"),
-        num_rules=NUM_RULES,
-        num_packets=20_000,
-        num_flows=600,
-        churn_events=2,
-        record_batches=True,
-        seed=1,
-    )
-    serial = run_serving(serving_workers=1, **kwargs)
-    sharded = run_once(run_serving, serving_workers=2,
-                       serving_backend="process", **kwargs)
+
+def test_sharded_serving_merged_telemetry_and_speedup(run_once, benchmark,
+                                                      bench_gate):
+    cfg = SERVING_SCORECARDS["sharded"]
+    serial = run_serving_scorecard("sharded", serving_workers=1)
+    sharded = run_once(run_serving_scorecard, "sharded")
     report = sharded.report
 
     print("\n=== Tenant-sharded serving (2 worker processes) ===")
     print(format_table(["metric", "value"], sharded.rows()))
     print(format_table(["shard", "tenants", "requests", "wall"],
                        sharded.shard_rows()))
+    speedup = report.pps / max(serial.report.pps, 1e-12)
+    print(f"sharded speedup over serial: {speedup:.2f}x "
+          f"(informational; the baseline gates it where comparable)")
     benchmark.extra_info["pps_sharded"] = report.pps
     benchmark.extra_info["pps_serial"] = serial.report.pps
+    benchmark.extra_info["sharded_speedup"] = speedup
 
     # Merged telemetry: every request served exactly once, across shards.
     assert report.num_requests == len(sharded.workload.requests)
-    assert report.num_requests == serial.report.num_requests
-    assert report.num_updates == serial.report.num_updates
-    assert sorted(report.per_tenant) == sorted(serial.report.per_tenant)
-    assert sharded.num_shards == 2
+    assert sharded.num_shards == cfg["serving_workers"]
+
+    # Sharding is exact: the merged deterministic counters equal the serial
+    # run's, bit for bit — not just the same request count.
+    assert report.deterministic_counters() == \
+        serial.report.deterministic_counters()
 
     # Exactness holds shard-locally and across the process boundary.
     exactness = sharded.verify_exactness()
     assert exactness.num_checked == report.num_requests
     assert exactness.num_mismatches == 0
 
-    # Parallel speedup only exists with real cores; gate it (CI has 1).
-    cpus = _available_cpus()
-    if cpus >= 2:
-        speedup = report.pps / serial.report.pps
-        assert speedup >= 1.1, (
-            f"expected sharded serving to beat single-process on {cpus} "
-            f"CPUs, got {speedup:.2f}x"
-        )
-    else:
-        print(f"only {cpus} CPU available; skipping the speedup assertion "
-              f"(worker processes cannot beat serial on one core)")
+    record = serving_bench_record(report, name="serving-sharded",
+                                  config=dict(cfg), exactness=exactness)
+    record.timings["sharded_speedup"] = speedup
+    bench_gate(record, serving_bench_filename("sharded"))

@@ -1,11 +1,23 @@
 """Serving-layer benchmark: heavy multi-tenant traffic across hot swaps.
 
-The acceptance bar for the serving layer: a generated multi-tenant flow
-workload with mid-trace rule churn is served with *zero* dropped packets and
-*zero* misclassifications — every answer equals linear search over the exact
-ruleset generation its engine was compiled from, including the post-update
-rulesets installed by the double-buffered hot swaps — while the run reports
-packets/sec, latency percentiles, flow-cache hit rate, and swap telemetry.
+The acceptance bar for the serving layer: the pinned ``"hotswap"`` serving
+scorecard (``repro.harness.scorecard.SERVING_SCORECARDS``) — a generated
+multi-tenant flow workload with mid-trace rule churn — is served with *zero*
+dropped packets and *zero* misclassifications, every answer equal to linear
+search over the exact ruleset generation its engine was compiled from,
+including the post-update rulesets installed by the double-buffered hot
+swaps.
+
+The quantitative bar is the checked-in baseline record
+(``benchmarks/baselines/BENCH_serving_hotswap.json``): deterministic
+counters — cache hits/invalidations, batch counts, swap tallies — gate
+bit-for-bit, while pps/latency timings are tolerance-banded only on a
+comparable machine.  This replaces the old hard-coded ratio asserts
+(``cache_hit_rate >= 0.5``, ``mean_batch_size > 1.0``): a cache-locality
+regression now shows up as a ``cache_hits`` counter diff against the
+baseline, not as a threshold that a slow CI container trips over.
+Regenerate the baselines with ``scripts/make_bench_baselines.py`` when a
+counter change is intentional.
 """
 
 from __future__ import annotations
@@ -13,28 +25,16 @@ from __future__ import annotations
 import random
 
 from repro.harness import format_table
-from repro.harness.serving import run_serving
+from repro.harness.scorecard import (SERVING_SCORECARDS,
+                                     run_serving_scorecard,
+                                     serving_bench_filename)
+from repro.harness.serving import serving_bench_record
 
-NUM_TENANTS = 3
-NUM_RULES = 150
-NUM_PACKETS = 12_000
-CHURN_EVENTS = 3
+CFG = SERVING_SCORECARDS["hotswap"]
 
 
-def test_hot_swap_zero_misclassification(run_once, benchmark):
-    result = run_once(
-        run_serving,
-        num_tenants=NUM_TENANTS,
-        num_rules=NUM_RULES,
-        num_packets=NUM_PACKETS,
-        num_flows=600,
-        zipf_alpha=1.1,
-        churn_events=CHURN_EVENTS,
-        adds_per_event=5,
-        removes_per_event=3,
-        record_batches=True,
-        seed=0,
-    )
+def test_hot_swap_zero_misclassification(run_once, benchmark, bench_gate):
+    result = run_once(run_serving_scorecard, "hotswap")
     report = result.report
 
     print("\n=== Multi-tenant serving with mid-run hot swaps ===")
@@ -55,7 +55,7 @@ def test_hot_swap_zero_misclassification(run_once, benchmark):
     # No dropped packets: every generated request was answered exactly once.
     assert report.num_requests == len(result.workload.requests)
     # The churn actually exercised the hot-swap path.
-    assert report.num_updates == CHURN_EVENTS
+    assert report.num_updates == CFG["churn_events"]
     assert report.swaps >= 1, "no engine swap happened during the trace"
 
     # Differential exactness across the swaps: each served packet must equal
@@ -90,29 +90,10 @@ def test_hot_swap_zero_misclassification(run_once, benchmark):
     assert report.pps > 0
     assert report.latency_ms(50.0) <= report.latency_ms(90.0) \
         <= report.latency_ms(99.0)
-    assert 0.0 < report.cache_hit_rate <= 1.0
-    assert report.mean_batch_size > 1.0, \
-        "micro-batcher never coalesced anything"
 
-
-def test_serving_cache_locality_pays(run_once):
-    """Zipf flow locality must translate into real flow-cache hit rates."""
-    result = run_once(
-        run_serving,
-        num_tenants=2,
-        num_rules=120,
-        num_packets=8_000,
-        num_flows=300,
-        zipf_alpha=1.3,
-        churn_events=0,
-        flow_cache_size=4096,
-        seed=1,
-    )
-    report = result.report
-    print("\n=== Serving cache locality (no churn) ===")
-    print(format_table(["metric", "value"], report.rows()))
-    assert report.swaps == 0 and report.num_updates == 0
-    assert report.cache_hit_rate >= 0.5, (
-        f"flow cache hit rate {report.cache_hit_rate:.1%} too low for a "
-        f"Zipf(1.3) workload"
-    )
+    # The quantitative bar: this exact run's record vs the checked-in
+    # baseline.  Cache locality, batching efficiency, and swap behaviour all
+    # gate here as exact counter equality.
+    record = serving_bench_record(report, name="serving-hotswap",
+                                  config=dict(CFG), exactness=exactness)
+    bench_gate(record, serving_bench_filename("hotswap"))

@@ -190,6 +190,26 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="BACKEND",
                        help="compiled-engine traversal backend for every "
                             "tenant slot: numpy, numba, or auto")
+    serve.add_argument("--ingest", action="store_true",
+                       help="run the ingestion frontend ahead of the "
+                            "batcher: per-tenant token-bucket admission, "
+                            "queue-delay backpressure, typed throttling "
+                            "(see docs/ingest.md)")
+    serve.add_argument("--tenant-rate", type=float, default=20_000.0,
+                       metavar="PPS",
+                       help="sustained admitted packets/sec per tenant "
+                            "(token refill rate; needs --ingest)")
+    serve.add_argument("--tenant-burst", type=int, default=256, metavar="N",
+                       help="token-bucket burst capacity per tenant "
+                            "(needs --ingest)")
+    serve.add_argument("--queue-limit", type=int, default=512, metavar="N",
+                       help="bounded admission-queue capacity per tenant; "
+                            "arrivals beyond it are shed (needs --ingest)")
+    serve.add_argument("--flash-crowd", type=float, default=0.0,
+                       metavar="FACTOR",
+                       help="adversarial scenario: the busiest tenant's "
+                            "offered rate multiplies by FACTOR mid-trace "
+                            "(0 = nominal workload; FACTOR > 1 enables)")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--json", type=Path, default=None, metavar="PATH",
                        help="also write the run as a BENCH_serve.json "
@@ -266,6 +286,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "workers")
     replay.add_argument("--serving-backend", default="process",
                         choices=EXECUTOR_BACKENDS)
+    replay.add_argument("--ingest", action="store_true",
+                        help="replay through the ingest-enabled serving "
+                             "path; admission timing is bypassed on "
+                             "replays (trace clock authoritative, see "
+                             "docs/ingest.md), so verified traces stay "
+                             "bit-exact")
+    replay.add_argument("--tenant-rate", type=float, default=20_000.0,
+                        metavar="PPS",
+                        help="ingest sustained rate per tenant "
+                             "(needs --ingest)")
+    replay.add_argument("--tenant-burst", type=int, default=256,
+                        metavar="N",
+                        help="ingest burst capacity per tenant "
+                             "(needs --ingest)")
+    replay.add_argument("--queue-limit", type=int, default=512, metavar="N",
+                        help="ingest admission-queue capacity per tenant "
+                             "(needs --ingest)")
 
     inspect = trace_sub.add_parser(
         "inspect", help="print a trace file's header and contents"
@@ -290,13 +327,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     bcompare = bench_sub.add_parser(
         "compare",
-        help="gate a scorecard record against a baseline (exit 1 on "
-             "regression)",
+        help="gate a scorecard record (or a whole directory of them) "
+             "against a baseline (exit 1 on regression)",
     )
     bcompare.add_argument("run", type=Path,
-                          help="the BENCH_*.json record under test")
+                          help="the BENCH_*.json record under test, or a "
+                               "directory of records (then baseline must "
+                               "be a directory too: every BENCH_*.json in "
+                               "the baseline dir is gated against the "
+                               "same-named run file in one invocation)")
     bcompare.add_argument("baseline", type=Path,
-                          help="the baseline record to gate against")
+                          help="the baseline record (or directory) to gate "
+                               "against")
     bcompare.add_argument("--timing-tolerance", type=float, default=0.25,
                           metavar="FRAC",
                           help="allowed fractional timing regression "
@@ -524,6 +566,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         retrain_policy = RetrainPolicy(timesteps=args.retrain_timesteps,
                                        backend=args.retrain_backend,
                                        seed=args.seed)
+    ingest = None
+    flash_crowd = None
+    try:
+        if args.ingest:
+            from repro.ingest import IngestConfig
+
+            ingest = IngestConfig(tenant_rate=args.tenant_rate,
+                                  tenant_burst=args.tenant_burst,
+                                  queue_limit=args.queue_limit)
+        if args.flash_crowd > 0:
+            from repro.workloads.adversarial import FlashCrowdConfig
+
+            flash_crowd = FlashCrowdConfig(rate_factor=args.flash_crowd)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     try:
         result = run_serving(
             num_tenants=args.tenants,
@@ -547,6 +605,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             serving_workers=args.serving_workers,
             serving_backend=args.serving_backend,
             engine_backend=args.engine_backend,
+            ingest=ingest,
+            flash_crowd=flash_crowd,
             seed=args.seed,
         )
     except ValueError as error:
@@ -568,6 +628,30 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             ["shard", "tenants", "requests", "wall"],
             result.shard_rows(),
         ))
+    report = result.report
+    if args.ingest:
+        delay = report.metrics.timing("ingest.queue_delay_seconds") \
+            if report.metrics is not None else None
+        print(f"admission: {report.ingest_offered:,} offered -> "
+              f"{report.ingest_admitted:,} admitted, "
+              f"{report.ingest_throttled:,} throttled, "
+              f"{report.ingest_shed:,} shed"
+              + (f"; queue delay p50 {delay.percentile(50) * 1e3:.3f} ms, "
+                 f"p99 {delay.percentile(99) * 1e3:.3f} ms, "
+                 f"max {delay.max * 1e3:.3f} ms"
+                 if delay is not None and delay.count else ""))
+        ingest_rows = [
+            [tenant_id, e["offered"], e["admitted"], e["throttled"],
+             e["shed"], f"{e['goodput_pps']:,.0f}", e["max_queue_depth"]]
+            for tenant_id, entry in report.per_tenant.items()
+            if (e := entry.get("ingest")) is not None
+        ]
+        if ingest_rows:
+            print(format_table(
+                ["tenant", "offered", "admitted", "throttled", "shed",
+                 "goodput pps", "max depth"],
+                ingest_rows,
+            ))
     exactness = None
     if args.verify:
         exactness = result.verify_exactness()
@@ -596,6 +680,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 "retrain_threshold": args.retrain_threshold,
                 "serving_workers": args.serving_workers,
                 "engine_backend": args.engine_backend,
+                "ingest": args.ingest,
+                "tenant_rate": args.tenant_rate if args.ingest else None,
+                "tenant_burst": args.tenant_burst if args.ingest else None,
+                "queue_limit": args.queue_limit if args.ingest else None,
+                "flash_crowd": args.flash_crowd,
                 "seed": args.seed,
             })
         write_bench(record, args.json)
@@ -660,6 +749,19 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     if args.retrain_threshold < 0:
         print("error: --retrain-threshold must be >= 0", file=sys.stderr)
         return 2
+    ingest = None
+    if args.ingest:
+        from repro.ingest import IngestConfig
+
+        try:
+            ingest = IngestConfig(tenant_rate=args.tenant_rate,
+                                  tenant_burst=args.tenant_burst,
+                                  queue_limit=args.queue_limit)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print("note: trace replay bypasses admission timing (the trace "
+              "clock is authoritative; see docs/ingest.md)")
     try:
         trace = read_trace(args.trace)
         retrain_policy = None
@@ -679,6 +781,7 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
             retrain_policy=retrain_policy,
             serving_workers=args.serving_workers,
             serving_backend=args.serving_backend,
+            ingest=ingest,
         )
     except (TraceError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -791,19 +894,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return _TRACE_COMMANDS[args.trace_command](args)
 
 
-def _cmd_bench_compare(args: argparse.Namespace) -> int:
+def _compare_one(run_path: Path, baseline_path: Path,
+                 args: argparse.Namespace) -> int:
+    """Gate one run record against one baseline record (one exit code)."""
     import os
 
     from repro.exceptions import BenchError
     from repro.obs.bench import read_bench
     from repro.obs.compare import compare_records, timings_comparable
 
-    if args.timing_tolerance < 0:
-        print("error: --timing-tolerance must be >= 0", file=sys.stderr)
-        return 2
     try:
-        run = read_bench(args.run)
-        baseline = read_bench(args.baseline)
+        run = read_bench(run_path)
+        baseline = read_bench(baseline_path)
     except (BenchError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -824,8 +926,8 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
                              timing_tolerance=args.timing_tolerance,
                              check_timings=check_timings,
                              ignore_config=args.ignore_config)
-    print(f"comparing {args.run} ({run.name}) against "
-          f"{args.baseline} ({baseline.name})")
+    print(f"comparing {run_path} ({run.name}) against "
+          f"{baseline_path} ({baseline.name})")
     print(format_table(["kind", "metric", "baseline", "run", "status"],
                        report.rows()))
     if not report.ok:
@@ -835,6 +937,45 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     timing_note = "" if check_timings else " (timings skipped)"
     print(f"gate passed: {len(report.checks)} checks{timing_note}")
     return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    if args.timing_tolerance < 0:
+        print("error: --timing-tolerance must be >= 0", file=sys.stderr)
+        return 2
+    if args.run.is_dir() or args.baseline.is_dir():
+        if not (args.run.is_dir() and args.baseline.is_dir()):
+            print("error: directory mode needs both run and baseline to be "
+                  "directories of BENCH_*.json records", file=sys.stderr)
+            return 2
+        baselines = sorted(args.baseline.glob("BENCH_*.json"))
+        if not baselines:
+            print(f"error: no BENCH_*.json records in {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        worst = 0
+        gated = 0
+        # Every baseline must have a matching run: a record that silently
+        # stops being produced is itself a regression.
+        for baseline_path in baselines:
+            run_path = args.run / baseline_path.name
+            if not run_path.exists():
+                print(f"error: baseline {baseline_path.name} has no "
+                      f"matching record in {args.run}", file=sys.stderr)
+                worst = max(worst, 1)
+                continue
+            worst = max(worst, _compare_one(run_path, baseline_path, args))
+            gated += 1
+        baseline_names = {p.name for p in baselines}
+        extra = [p.name for p in sorted(args.run.glob("BENCH_*.json"))
+                 if p.name not in baseline_names]
+        if extra:
+            print(f"note: {len(extra)} run record(s) without a baseline "
+                  f"(informational): {', '.join(extra)}")
+        if worst == 0:
+            print(f"directory gate passed: {gated} record pair(s)")
+        return worst
+    return _compare_one(args.run, args.baseline, args)
 
 
 def _cmd_bench_show(args: argparse.Namespace) -> int:

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.ingest.admission import IngestConfig
 from repro.serve.batcher import BatchPolicy
 from repro.serve.controller import RetrainController, RetrainPolicy
 from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD
@@ -48,6 +49,8 @@ from repro.serve.sharded import (
 from repro.rules.ruleset import RuleSet
 from repro.traces.format import ServingTrace
 from repro.traces.io import read_trace
+from repro.workloads.adversarial import FlashCrowdConfig, \
+    build_flash_crowd_workload
 from repro.workloads.scenario import (
     DEFAULT_FAMILIES,
     ChurnConfig,
@@ -305,6 +308,8 @@ def run_serving(
     serving_backend: str = "process",
     engine_backend: str = "numpy",
     trace_path: Optional[Union[str, Path, ServingTrace]] = None,
+    ingest: Optional[IngestConfig] = None,
+    flash_crowd: Optional[FlashCrowdConfig] = None,
     seed: int = 0,
 ):
     """Serve a multi-tenant workload and collect telemetry.
@@ -336,10 +341,33 @@ def run_serving(
     ``engine_backend`` selects the compiled-engine traversal backend for
     every tenant slot (``"numpy"``, ``"numba"``, or ``"auto"``; see
     :data:`repro.engine.kernels.ENGINE_BACKENDS`).
+
+    ``ingest`` attaches the ingestion frontend (:mod:`repro.ingest`):
+    per-tenant token-bucket admission runs ahead of the batcher, over-rate
+    traffic is throttled or shed (typed and counted, never silently
+    dropped), and the report carries the ``ingest_*`` tallies.
+    ``flash_crowd`` swaps the nominal workload for the adversarial
+    flash-crowd scenario (one tenant goes over-rate mid-trace; see
+    :mod:`repro.workloads.adversarial`) — the natural companion to
+    ``ingest``, and only meaningful on the generated-workload path.
+
+    On the trace-replay path ``ingest`` is ignored by construction: a
+    recorded trace contains only packets that were already admitted, and
+    the determinism contract (docs/traces.md) makes the trace clock
+    authoritative — re-running admission against replay-time stamps would
+    perturb the recorded stream.  ``flash_crowd`` is rejected there (the
+    workload comes from the trace, so there is nothing to generate).
     """
     if serving_workers < 1:
         raise ValueError("serving_workers must be >= 1")
     if trace_path is not None:
+        if flash_crowd is not None:
+            raise ValueError(
+                "flash_crowd generates a workload and cannot be combined "
+                "with trace_path (the trace already fixes the packet stream)"
+            )
+        # Determinism contract: trace replay bypasses admission timing.
+        ingest = None
         trace = trace_path if isinstance(trace_path, ServingTrace) \
             else read_trace(trace_path)
         workload = trace.to_workload()
@@ -365,9 +393,14 @@ def run_serving(
                             adds_per_event=adds_per_event,
                             removes_per_event=removes_per_event) \
             if churn_events > 0 else None
-        workload = build_workload(specs, trace,
-                                  tenant_zipf_alpha=tenant_zipf_alpha,
-                                  churn=churn)
+        if flash_crowd is not None:
+            workload = build_flash_crowd_workload(
+                specs, trace, flash_crowd,
+                tenant_zipf_alpha=tenant_zipf_alpha, churn=churn)
+        else:
+            workload = build_workload(specs, trace,
+                                      tenant_zipf_alpha=tenant_zipf_alpha,
+                                      churn=churn)
     if retrain_threshold is not None and retrain_policy is None:
         retrain_policy = RetrainPolicy(seed=seed)
     if retrain_threshold is None:
@@ -390,6 +423,7 @@ def run_serving(
             if retrain_threshold is not None else DEFAULT_RETRAIN_THRESHOLD,
             retrain_policy=retrain_policy,
             engine_backend=engine_backend,
+            ingest=ingest,
         )
         return ShardedServingResult(report=report, workload=workload,
                                     outcomes=outcomes, plan=plan)
@@ -409,6 +443,7 @@ def run_serving(
         registry, BatchPolicy(max_batch=max_batch, max_delay=max_delay),
         record_batches=record_batches,
         retrain_controller=controller,
+        ingest=ingest,
     )
     try:
         report = service.serve(workload.requests, updates=workload.updates)

@@ -1,0 +1,45 @@
+"""The ingestion frontend: admission control between sources and serving.
+
+This package sits between request sources and the serving stack
+(:mod:`repro.serve`).  Its synchronous core is the
+:class:`~repro.ingest.admission.AdmissionController` — per-tenant
+:class:`~repro.ingest.bucket.TokenBucket` rate limits, a bounded virtual
+admission queue, and a two-level congestion signal
+(:class:`~repro.ingest.admission.CongestionLevel`) that slows sources
+*before* queues overflow and sheds loudly (a typed
+:class:`~repro.exceptions.ThrottledError`) when they do.  The asyncio
+:class:`~repro.ingest.server.IngestServer` wraps the controller to
+multiplex concurrent per-tenant request streams onto the single serving
+thread; ``run_serving(ingest=...)`` drives the controller inline over a
+generated workload.
+
+Every decision runs on the trace clock (request timestamps), never the
+wall clock, so admission outcomes are deterministic and replayable — see
+docs/ingest.md for the full contract, including why trace replay bypasses
+admission timing.
+"""
+
+from repro.ingest.admission import (
+    ADMITTED,
+    SHED,
+    THROTTLED,
+    AdmissionController,
+    AdmissionDecision,
+    CongestionLevel,
+    IngestConfig,
+)
+from repro.ingest.bucket import TokenBucket
+from repro.ingest.server import IngestServer, StreamSummary
+
+__all__ = [
+    "ADMITTED",
+    "THROTTLED",
+    "SHED",
+    "AdmissionController",
+    "AdmissionDecision",
+    "CongestionLevel",
+    "IngestConfig",
+    "IngestServer",
+    "StreamSummary",
+    "TokenBucket",
+]

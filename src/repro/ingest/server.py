@@ -1,0 +1,239 @@
+"""The asyncio ingestion frontend: concurrent streams, one serving thread.
+
+:class:`IngestServer` is the edge of the serving stack: any number of
+concurrent per-tenant asyncio request streams call :meth:`IngestServer.submit`,
+admission control (:class:`~repro.ingest.admission.AdmissionController`)
+decides each request on its *trace-time* stamp, and admitted requests are
+handed across a thread-safe queue to the single serving thread the rest of
+:mod:`repro.serve` assumes — where a :class:`~repro.serve.batcher.MicroBatcher`
+coalesces them and each released batch executes on the owning tenant's
+compiled engine.  Results travel back as asyncio futures resolved via
+``loop.call_soon_threadsafe``.
+
+Rejections are *typed*: ``submit`` raises
+:class:`~repro.exceptions.ThrottledError` (reason ``"throttled"`` or
+``"shed"``) the moment admission refuses, so a source always learns its
+packet's fate — the frontend never tail-drops silently.
+
+Determinism note: admission state is per-tenant and each tenant's stream
+submits sequentially, so the admit/throttle/shed *counters* are independent
+of how the event loop interleaves tenants.  Batch composition, by contrast,
+depends on arrival interleaving at the batcher — live serving is not a
+replay surface; record a trace for that (see docs/ingest.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+from dataclasses import dataclass, replace
+from typing import AsyncIterable, Dict, List, Optional, Tuple
+
+from repro.engine.layout import packets_to_array
+from repro.exceptions import IngestError, ThrottledError
+from repro.ingest.admission import (
+    SHED,
+    AdmissionController,
+    IngestConfig,
+)
+from repro.serve.batcher import BatchPolicy, MicroBatcher, Request
+from repro.serve.registry import TenantRegistry
+
+#: Sentinel shutting the serving thread down (flushes all queues first).
+_STOP = object()
+
+
+@dataclass
+class StreamSummary:
+    """Outcome of pushing one async stream through :meth:`serve_stream`."""
+
+    tenant_id: str
+    offered: int = 0
+    admitted: int = 0
+    throttled: int = 0
+    shed: int = 0
+    #: (request seq stamp at submission order, matched priority or None).
+    results: List[Tuple[int, Optional[int]]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.results is None:
+            self.results = []
+
+
+class IngestServer:
+    """Multiplexes concurrent async request streams onto a serving thread.
+
+    Args:
+        registry: the tenants to serve (slots are consulted per batch, so
+            hot swaps land between batches exactly as in
+            :class:`~repro.serve.service.ClassificationService`).
+        config: admission knobs applied to every tenant (``per_tenant``
+            overrides individual tenants).
+        policy: micro-batching knobs for the serving thread.
+
+    Use as an async context manager::
+
+        async with IngestServer(registry, config) as server:
+            priority = await server.submit(request)   # may raise ThrottledError
+    """
+
+    def __init__(self, registry: TenantRegistry,
+                 config: IngestConfig = IngestConfig(),
+                 policy: BatchPolicy = BatchPolicy(),
+                 per_tenant: Optional[Dict[str, IngestConfig]] = None,
+                 idle_flush: float = 0.005) -> None:
+        self.registry = registry
+        self.policy = policy
+        # Wall seconds of hand-off silence after which partial batches are
+        # force-flushed.  The batcher's own deadline runs on trace time, so
+        # without this a lone awaited submit would stall until the next
+        # arrival happened to release its batch.
+        self.idle_flush = idle_flush
+        self.admission = AdmissionController(config, metrics=registry.metrics,
+                                             per_tenant=per_tenant)
+        self._handoff: "queue.Queue" = queue.Queue()
+        self._futures: Dict[int, Tuple[asyncio.Future,
+                                       asyncio.AbstractEventLoop]] = {}
+        self._futures_lock = threading.Lock()
+        self._ticket = 0
+        self._thread: Optional[threading.Thread] = None
+        self._served = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise IngestError("IngestServer is already running")
+        self._thread = threading.Thread(target=self._serve_loop,
+                                        name="ingest-serving", daemon=True)
+        self._thread.start()
+
+    async def stop(self) -> None:
+        """Flush every tenant queue and join the serving thread."""
+        if self._thread is None:
+            return
+        self._handoff.put(_STOP)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._thread.join)
+        self._thread = None
+
+    async def __aenter__(self) -> "IngestServer":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def served(self) -> int:
+        """Requests executed by the serving thread so far."""
+        return self._served
+
+    # ------------------------------------------------------------------ #
+    # Submission (event-loop side)
+    # ------------------------------------------------------------------ #
+
+    async def submit(self, request: Request) -> Optional[int]:
+        """Admit one request and await its matched rule priority.
+
+        Raises :class:`ThrottledError` when admission refuses (reason
+        ``"throttled"`` on an empty token bucket, ``"shed"`` at the HARD
+        congestion level).  Returns the winning rule priority (``None`` =
+        no match) once the request's batch has executed.
+        """
+        if self._thread is None:
+            raise IngestError("IngestServer is not running (call start())")
+        decision = self.admission.offer(request)
+        if not decision.admitted:
+            raise ThrottledError(
+                tenant_id=request.tenant_id,
+                time=request.time,
+                reason="shed" if decision.status == SHED else "throttled",
+                level=int(decision.level),
+                retry_after=decision.retry_after,
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        with self._futures_lock:
+            ticket = self._ticket
+            self._ticket += 1
+            self._futures[ticket] = (future, loop)
+        # The serving thread keys results off the seq stamp, so the server
+        # owns it here (generated workloads carry their own seq; a live
+        # source's request identity is this ticket).
+        self._handoff.put(replace(request, time=decision.release_time,
+                                  seq=ticket))
+        return await future
+
+    async def serve_stream(self, tenant_id: str,
+                           requests: AsyncIterable[Request]
+                           ) -> StreamSummary:
+        """Drive one tenant's async stream through admission and serving.
+
+        A convenience wrapper over :meth:`submit` that absorbs
+        :class:`ThrottledError` into per-stream tallies (the typed errors
+        are the API; this is the bookkeeping view sources usually want).
+        """
+        summary = StreamSummary(tenant_id=tenant_id)
+        async for request in requests:
+            summary.offered += 1
+            try:
+                priority = await self.submit(request)
+            except ThrottledError as error:
+                if error.reason == "shed":
+                    summary.shed += 1
+                else:
+                    summary.throttled += 1
+                continue
+            summary.admitted += 1
+            summary.results.append((summary.offered - 1, priority))
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Serving thread
+    # ------------------------------------------------------------------ #
+
+    def _resolve(self, request: Request, priority: Optional[int]) -> None:
+        with self._futures_lock:
+            entry = self._futures.pop(request.seq, None)
+        if entry is None:  # pragma: no cover - cancelled caller
+            return
+        future, loop = entry
+        def _set() -> None:
+            if not future.cancelled():
+                future.set_result(priority)
+        loop.call_soon_threadsafe(_set)
+
+    def _execute(self, tenant_id: str, batch: List[Request]) -> None:
+        if not batch:
+            return
+        slot = self.registry.slot(tenant_id)
+        engine = slot.engine()  # installs a finished swap, if any
+        values = packets_to_array([r.packet for r in batch])
+        indices = engine.lookup_batch(values)
+        self._served += len(batch)
+        for request, index in zip(batch, indices):
+            priority = engine.rules[index].priority if index >= 0 else None
+            self._resolve(request, priority)
+
+    def _serve_loop(self) -> None:
+        batcher = MicroBatcher(self.policy)
+        while True:
+            try:
+                item = self._handoff.get(timeout=self.idle_flush)
+            except queue.Empty:
+                # The hand-off went quiet for a flush interval: release the
+                # partial batches so awaiting submitters get answers.
+                for tenant_id, batch in batcher.flush_all():
+                    self._execute(tenant_id, batch)
+                continue
+            if item is _STOP:
+                break
+            for tenant_id, batch in batcher.offer(item):
+                self._execute(tenant_id, batch)
+        for tenant_id, batch in batcher.flush_all():
+            self._execute(tenant_id, batch)
+        self.registry.drain()

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, \
 import numpy as np
 
 from repro.engine.layout import packets_to_array
+from repro.ingest.admission import AdmissionController, IngestConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.rules.rule import Rule
 from repro.serve.batcher import BatchPolicy, MicroBatcher, Request
@@ -98,6 +99,15 @@ class ServingReport:
     retrains_triggered: int = 0
     retrains_installed: int = 0
     retrains_discarded: int = 0
+    #: Admission-control tally (all zero when no ingestion frontend is
+    #: attached).  Invariant: offered == admitted + throttled + shed, and
+    #: num_requests == ingest_admitted whenever ingest_offered > 0 — every
+    #: admitted packet is served, every rejection is typed, nothing is
+    #: silently dropped.
+    ingest_offered: int = 0
+    ingest_admitted: int = 0
+    ingest_throttled: int = 0
+    ingest_shed: int = 0
     #: Phase-timer registry snapshot (compile / swap-install / retrain /
     #: batch-flush / queue-wait spans plus request counters), detached
     #: at the end-of-trace quiesce point so later runs and background
@@ -149,6 +159,10 @@ class ServingReport:
             "retrains_triggered": self.retrains_triggered,
             "retrains_installed": self.retrains_installed,
             "retrains_discarded": self.retrains_discarded,
+            "ingest_offered": self.ingest_offered,
+            "ingest_admitted": self.ingest_admitted,
+            "ingest_throttled": self.ingest_throttled,
+            "ingest_shed": self.ingest_shed,
         }
 
     def rows(self) -> List[List[object]]:
@@ -177,6 +191,14 @@ class ServingReport:
                 f"{self.retrains_installed:,} installed, "
                 f"{self.retrains_discarded:,} discarded",
             ])
+        if self.ingest_offered:
+            rows.append([
+                "admission",
+                f"{self.ingest_offered:,} offered: "
+                f"{self.ingest_admitted:,} admitted, "
+                f"{self.ingest_throttled:,} throttled, "
+                f"{self.ingest_shed:,} shed",
+            ])
         return rows
 
 
@@ -203,6 +225,12 @@ class ClassificationService:
             watching this registry.  The service polls it after every rule
             update and before every batch (so finished retrains install
             promptly), and drains it with the registry at end of trace.
+        ingest: attach an ingestion frontend (see :mod:`repro.ingest`):
+            every request passes per-tenant admission control before the
+            batcher, over-rate traffic is throttled or shed (counted,
+            never silently dropped), and admitted requests are re-stamped
+            to their admission-queue release times.  ``per_tenant_ingest``
+            overrides the uniform config for named tenants.
     """
 
     def __init__(
@@ -212,12 +240,16 @@ class ClassificationService:
         record_batches: bool = False,
         record_latencies: bool = False,
         retrain_controller: Optional["RetrainController"] = None,
+        ingest: Optional[IngestConfig] = None,
+        per_tenant_ingest: Optional[Dict[str, IngestConfig]] = None,
     ) -> None:
         self.registry = registry
         self.policy = policy
         self.record_batches = record_batches
         self.record_latencies = record_latencies
         self.retrain_controller = retrain_controller
+        self.ingest = ingest
+        self.per_tenant_ingest = per_tenant_ingest
 
     # ------------------------------------------------------------------ #
     # Serving loop
@@ -235,6 +267,17 @@ class ClassificationService:
         # Stable sort: equal-timestamp requests keep their stream order, so
         # a given workload always forms the same batches.
         requests = sorted(requests, key=lambda r: r.time)
+        admission: Optional[AdmissionController] = None
+        if self.ingest is not None:
+            # The frontend decides on arrival stamps and re-stamps admitted
+            # requests to their queue release times, so the serving loop
+            # below sees the post-admission stream — still time-ordered,
+            # still deterministic.
+            admission = AdmissionController(
+                self.ingest, metrics=self.registry.metrics,
+                per_tenant=self.per_tenant_ingest,
+            )
+            requests = admission.admit(requests)
         batcher = MicroBatcher(self.policy)
         pending_updates = sorted(updates, key=lambda u: u.time)
         latencies: List[float] = []
@@ -343,6 +386,10 @@ class ClassificationService:
         wall_seconds = time.perf_counter() - wall_start
 
         per_tenant = self.registry.telemetry()
+        if admission is not None:
+            for tenant_id, summary in \
+                    admission.tenant_summary(last_time).items():
+                per_tenant.setdefault(tenant_id, {})["ingest"] = summary
         cache = {"hits": 0, "lookups": 0, "evictions": 0, "invalidations": 0}
         swaps = stalls = 0
         stall_seconds = 0.0
@@ -389,6 +436,10 @@ class ClassificationService:
             retrains_triggered=retrain_stats.triggered if retrain_stats else 0,
             retrains_installed=retrain_stats.installed if retrain_stats else 0,
             retrains_discarded=retrain_stats.discarded if retrain_stats else 0,
+            ingest_offered=admission.offered if admission else 0,
+            ingest_admitted=admission.admitted if admission else 0,
+            ingest_throttled=admission.throttled if admission else 0,
+            ingest_shed=admission.shed if admission else 0,
             # Snapshot, like retrain_stats above: the registry is the live
             # shared instance (builder threads and later serve() runs keep
             # writing into it), and the drains above are the one point

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.executors import EXECUTOR_BACKENDS, make_executor
+from repro.ingest.admission import IngestConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.rules.ruleset import RuleSet
 from repro.serve.batcher import BatchPolicy, Request
@@ -121,6 +122,10 @@ class ShardTask:
     retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD
     retrain_policy: Optional[RetrainPolicy] = None
     engine_backend: str = "numpy"
+    #: Admission control, applied shard-locally.  Exact vs. a single
+    #: process: admission state is per-tenant and tenants never share a
+    #: shard, so per-shard decisions equal the unsharded ones.
+    ingest: Optional[IngestConfig] = None
 
 
 @dataclass
@@ -173,6 +178,7 @@ def serve_shard(task: ShardTask) -> ShardOutcome:
         record_batches=task.record_batches,
         record_latencies=True,
         retrain_controller=controller,
+        ingest=task.ingest,
     )
     started = time.perf_counter()
     try:
@@ -264,6 +270,10 @@ def merge_reports(outcomes: Sequence[ShardOutcome],
         retrains_triggered=sum(r.retrains_triggered for r in reports),
         retrains_installed=sum(r.retrains_installed for r in reports),
         retrains_discarded=sum(r.retrains_discarded for r in reports),
+        ingest_offered=sum(r.ingest_offered for r in reports),
+        ingest_admitted=sum(r.ingest_admitted for r in reports),
+        ingest_throttled=sum(r.ingest_throttled for r in reports),
+        ingest_shed=sum(r.ingest_shed for r in reports),
         metrics=metrics,
         swap_stats=swap_stats,
         retrain_stats=retrain_stats,
@@ -285,6 +295,7 @@ def serve_sharded(
     retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD,
     retrain_policy: Optional[RetrainPolicy] = None,
     engine_backend: str = "numpy",
+    ingest: Optional[IngestConfig] = None,
 ) -> Tuple[List[ShardOutcome], ServingReport, ShardPlan]:
     """Serve a multi-tenant workload sharded across ``num_workers`` workers.
 
@@ -324,6 +335,7 @@ def serve_sharded(
             retrain_threshold=retrain_threshold,
             retrain_policy=retrain_policy,
             engine_backend=engine_backend,
+            ingest=ingest,
         ))
     executor = make_executor(max(1, len(tasks)), backend=backend)
     started = time.perf_counter()

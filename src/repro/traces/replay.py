@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.exceptions import TraceError
+from repro.ingest.admission import IngestConfig
 from repro.serve.controller import RetrainPolicy
 from repro.serve.service import ServingReport
 from repro.traces.format import ServingTrace
@@ -173,6 +174,7 @@ def replay_trace(
     retrain_policy: Optional[RetrainPolicy] = None,
     serving_workers: int = 1,
     serving_backend: str = "process",
+    ingest: Optional[IngestConfig] = None,
     bench_path: Optional[Union[str, Path]] = None,
 ) -> ReplayOutcome:
     """Serve a recorded trace through the full stack and (optionally) verify.
@@ -183,6 +185,12 @@ def replay_trace(
     decisions depend only on (packet, epoch ruleset) while swaps stay
     synchronous.  ``background_swaps=True`` trades that verifiability for
     realistic swap timing; expect golden mismatches around update times.
+
+    ``ingest`` exercises the ingest-enabled serving path, but admission
+    *timing* is bypassed on replays by construction: the trace's packets
+    were already admitted when recorded and the trace clock is
+    authoritative (docs/traces.md, docs/ingest.md), so golden traces stay
+    bit-exact and the ``ingest_*`` counters report zero.
 
     ``bench_path`` additionally writes the run as a ``BENCH_replay.json``
     scorecard (see :mod:`repro.obs.bench`).
@@ -204,6 +212,7 @@ def replay_trace(
         retrain_policy=retrain_policy,
         serving_workers=serving_workers,
         serving_backend=serving_backend,
+        ingest=ingest,
     )
     report = verify_replay(trace, result.report) if verify else None
     outcome = ReplayOutcome(trace=trace, result=result, report=report)

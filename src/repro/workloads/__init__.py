@@ -18,9 +18,16 @@ from repro.workloads.scenario import (
     ChurnConfig,
     MultiTenantWorkload,
     TenantSpec,
+    assemble_workload,
     build_workload,
     generate_churn,
+    generate_tenant_requests,
     make_tenant_specs,
+    tenant_trace_configs,
+)
+from repro.workloads.adversarial import (
+    FlashCrowdConfig,
+    build_flash_crowd_workload,
 )
 
 __all__ = [
@@ -30,9 +37,14 @@ __all__ = [
     "generate_flow_trace",
     "DEFAULT_FAMILIES",
     "ChurnConfig",
+    "FlashCrowdConfig",
     "MultiTenantWorkload",
     "TenantSpec",
+    "assemble_workload",
+    "build_flash_crowd_workload",
     "build_workload",
     "generate_churn",
+    "generate_tenant_requests",
     "make_tenant_specs",
+    "tenant_trace_configs",
 ]

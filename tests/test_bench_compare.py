@@ -260,6 +260,71 @@ class TestBenchCompareCli:
         assert "num_packets" in out and "compiled_pps" in out
 
 
+class TestBenchCompareDirectory:
+    """Directory mode: one invocation gates a whole scorecard suite."""
+
+    def _write_dirs(self, tmp_path, names=("BENCH_a.json", "BENCH_b.json")):
+        run_dir = tmp_path / "run"
+        baseline_dir = tmp_path / "baselines"
+        for name in names:
+            record = _record(counters={"num_packets": 1000},
+                             timings={"compiled_pps": 5000.0})
+            write_bench(record, baseline_dir / name)
+            write_bench(record, run_dir / name)
+        return run_dir, baseline_dir
+
+    def test_clean_directory_compare_exits_zero(self, tmp_path, capsys):
+        run_dir, baseline_dir = self._write_dirs(tmp_path)
+        code = main(["bench", "compare", str(run_dir), str(baseline_dir),
+                     "--skip-timings"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "directory gate passed" in out and "2 record pair" in out
+
+    def test_one_regression_fails_the_whole_gate(self, tmp_path, capsys):
+        run_dir, baseline_dir = self._write_dirs(tmp_path)
+        path = run_dir / "BENCH_b.json"
+        data = json.loads(path.read_text())
+        data["counters"]["num_packets"] += 1
+        path.write_text(json.dumps(data))
+        code = main(["bench", "compare", str(run_dir), str(baseline_dir),
+                     "--skip-timings"])
+        assert code == 1
+        assert "num_packets" in capsys.readouterr().out
+
+    def test_missing_run_record_fails(self, tmp_path, capsys):
+        run_dir, baseline_dir = self._write_dirs(tmp_path)
+        (run_dir / "BENCH_b.json").unlink()
+        code = main(["bench", "compare", str(run_dir), str(baseline_dir),
+                     "--skip-timings"])
+        assert code == 1
+        assert "BENCH_b.json" in capsys.readouterr().err
+
+    def test_run_only_record_is_informational(self, tmp_path, capsys):
+        run_dir, baseline_dir = self._write_dirs(tmp_path)
+        write_bench(_record(), run_dir / "BENCH_extra.json")
+        code = main(["bench", "compare", str(run_dir), str(baseline_dir),
+                     "--skip-timings"])
+        assert code == 0
+        assert "BENCH_extra.json" in capsys.readouterr().out
+
+    def test_empty_baseline_dir_exits_two(self, tmp_path, capsys):
+        run_dir, baseline_dir = self._write_dirs(tmp_path)
+        for path in baseline_dir.glob("BENCH_*.json"):
+            path.unlink()
+        code = main(["bench", "compare", str(run_dir), str(baseline_dir),
+                     "--skip-timings"])
+        assert code == 2
+        assert "no BENCH_*.json" in capsys.readouterr().err
+
+    def test_mixed_file_and_directory_exits_two(self, tmp_path, capsys):
+        run_dir, baseline_dir = self._write_dirs(tmp_path)
+        code = main(["bench", "compare", str(run_dir / "BENCH_a.json"),
+                     str(baseline_dir)])
+        assert code == 2
+        assert "both" in capsys.readouterr().err
+
+
 class TestServeBenchRoundTrip:
     """The acceptance path: serve-bench --json -> bench compare."""
 

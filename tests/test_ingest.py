@@ -1,0 +1,385 @@
+"""Tests for the ingestion frontend (`repro.ingest`).
+
+Three layers:
+
+* :class:`TokenBucket` unit behaviour — virtual-clock refill, exact burst
+  boundary, non-negative balance — plus hypothesis properties over
+  arbitrary arrival sequences.
+* :class:`AdmissionController` — the admitted/throttled/shed partition as
+  a hypothesis invariant over arbitrary offered streams and configs,
+  determinism (same stream twice → same tallies), the structural
+  queue-delay bound, shard-exactness (disjoint tenants admitted separately
+  equal the merged stream), and SOFT/HARD signal behaviour.
+* :class:`IngestServer` — concurrent asyncio streams onto one serving
+  thread: typed rejections, correct answers vs linear search, and counter
+  partition end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.classbench import generate_classifier
+from repro.exceptions import IngestError, ThrottledError
+from repro.ingest import (
+    ADMITTED,
+    SHED,
+    THROTTLED,
+    AdmissionController,
+    CongestionLevel,
+    IngestConfig,
+    IngestServer,
+    TokenBucket,
+)
+from repro.rules import Packet
+from repro.serve.batcher import BatchPolicy, Request
+from repro.serve.registry import TenantRegistry
+
+PACKET = Packet(src_ip=1, dst_ip=2, src_port=3, dst_port=4, protocol=6)
+
+
+def _request(tenant: str, time: float, seq: int = -1) -> Request:
+    return Request(tenant_id=tenant, packet=PACKET, time=time,
+                   flow_id=0, seq=seq)
+
+
+# --------------------------------------------------------------------- #
+# TokenBucket
+# --------------------------------------------------------------------- #
+
+
+class TestTokenBucket:
+    def test_starts_full_and_burst_is_exact_at_the_boundary(self):
+        bucket = TokenBucket(rate=10.0, burst=4)
+        # Exactly `burst` same-instant consumes succeed; one more fails.
+        assert all(bucket.try_consume(0.0) for _ in range(4))
+        assert not bucket.try_consume(0.0)
+        # After exactly 1/rate seconds one token (and only one) is back.
+        assert bucket.try_consume(0.1)
+        assert not bucket.try_consume(0.1)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=8)
+        assert all(bucket.try_consume(0.0) for _ in range(8))
+        bucket.refill(1e9)  # a long idle period refills to burst, not more
+        assert bucket.available(1e9) == pytest.approx(8.0)
+
+    def test_monotone_clock_clamps_earlier_stamps(self):
+        bucket = TokenBucket(rate=10.0, burst=2)
+        assert bucket.try_consume(1.0)
+        before = bucket.tokens
+        bucket.refill(0.5)  # out-of-order stamp must not rewind or refill
+        assert bucket.tokens == pytest.approx(before)
+        assert bucket.last_refill == pytest.approx(1.0)
+
+    def test_seconds_until_is_the_exact_retry_hint(self):
+        bucket = TokenBucket(rate=4.0, burst=1)
+        assert bucket.seconds_until() == 0.0
+        assert bucket.try_consume(0.0)
+        assert bucket.seconds_until() == pytest.approx(0.25)
+        # The hint is honest: consuming exactly then succeeds.
+        assert bucket.try_consume(0.25)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+    @given(
+        rate=st.floats(min_value=0.5, max_value=1e6),
+        burst=st.integers(min_value=1, max_value=64),
+        deltas=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                                  allow_nan=False), max_size=50),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_balance_never_negative_never_exceeds_burst(self, rate, burst,
+                                                        deltas):
+        """Whatever the arrival pattern, 0 <= tokens <= burst always."""
+        bucket = TokenBucket(rate=rate, burst=burst)
+        now = 0.0
+        for delta in deltas:
+            now += delta
+            bucket.try_consume(now)
+            assert 0.0 <= bucket.tokens <= bucket.burst + 1e-9
+
+    @given(
+        burst=st.integers(min_value=1, max_value=32),
+        idle=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_burst_boundary_exact_after_any_idle(self, burst, idle):
+        """After an idle period exactly ``burst`` back-to-back admits fit."""
+        bucket = TokenBucket(rate=1000.0, burst=burst)
+        assert all(bucket.try_consume(idle) for _ in range(burst))
+        assert not bucket.try_consume(idle)
+
+
+# --------------------------------------------------------------------- #
+# AdmissionController
+# --------------------------------------------------------------------- #
+
+configs = st.builds(
+    IngestConfig,
+    tenant_rate=st.floats(min_value=1.0, max_value=1e5),
+    tenant_burst=st.integers(min_value=1, max_value=128),
+    queue_limit=st.integers(min_value=1, max_value=256),
+    soft_fraction=st.floats(min_value=0.1, max_value=1.0),
+    adaptive_sources=st.booleans(),
+)
+
+streams = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]),
+              st.floats(min_value=0.0, max_value=5.0, allow_nan=False)),
+    max_size=120,
+)
+
+
+def _offer_all(controller, stream):
+    decisions = []
+    for tenant, time in sorted(stream, key=lambda e: e[1]):
+        decisions.append(controller.offer(_request(tenant, time)))
+    return decisions
+
+
+class TestAdmissionController:
+    @given(config=configs, stream=streams)
+    @settings(max_examples=150, deadline=None)
+    def test_partition_invariant(self, config, stream):
+        """admitted + throttled + shed == offered, for any stream/config."""
+        controller = AdmissionController(config)
+        decisions = _offer_all(controller, stream)
+        assert controller.offered == len(stream)
+        assert (controller.admitted + controller.throttled
+                + controller.shed) == controller.offered
+        by_status = {ADMITTED: 0, THROTTLED: 0, SHED: 0}
+        for decision in decisions:
+            by_status[decision.status] += 1
+        assert by_status[ADMITTED] == controller.admitted
+        assert by_status[THROTTLED] == controller.throttled
+        assert by_status[SHED] == controller.shed
+
+    @given(config=configs, stream=streams)
+    @settings(max_examples=100, deadline=None)
+    def test_queue_delay_bound(self, config, stream):
+        """No admitted request waits longer than queue_limit/drain_rate."""
+        controller = AdmissionController(config)
+        for decision in _offer_all(controller, stream):
+            if decision.admitted:
+                assert decision.queue_delay <= \
+                    config.max_queue_delay + 1e-9
+                assert decision.release_time is not None
+
+    @given(config=configs, stream=streams)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic_replay(self, config, stream):
+        """The same offered stream always produces identical decisions."""
+        first = _offer_all(AdmissionController(config), stream)
+        second = _offer_all(AdmissionController(config), stream)
+        assert first == second
+
+    @given(config=configs, stream=streams)
+    @settings(max_examples=100, deadline=None)
+    def test_shard_exactness(self, config, stream):
+        """Per-tenant admission sharded by tenant equals the merged run.
+
+        The property behind exact sharded ingest counters: admission state
+        is per-tenant, so splitting a stream into shard-disjoint tenant
+        groups and admitting each separately must reproduce the single
+        controller's tallies exactly.
+        """
+        merged = AdmissionController(config)
+        _offer_all(merged, stream)
+        shards = {t: AdmissionController(config) for t in ("a", "b", "c")}
+        for tenant, time in sorted(stream, key=lambda e: e[1]):
+            shards[tenant].offer(_request(tenant, time))
+        summed = {key: sum(s.counters()[key] for s in shards.values())
+                  for key in merged.counters()}
+        assert summed == merged.counters()
+
+    def test_empty_bucket_throttles_with_retry_hint(self):
+        config = IngestConfig(tenant_rate=10.0, tenant_burst=1,
+                              queue_limit=8, adaptive_sources=False)
+        controller = AdmissionController(config)
+        assert controller.offer(_request("a", 0.0)).admitted
+        decision = controller.offer(_request("a", 0.0))
+        assert decision.status == THROTTLED
+        assert decision.retry_after == pytest.approx(0.1)
+        # The hint is honest on the virtual clock.
+        assert controller.offer(_request("a", 0.1)).admitted
+
+    def test_hard_level_sheds_when_queue_shorter_than_burst(self):
+        # queue_limit < burst: a full-burst same-instant volley overflows
+        # the queue, so the tail is shed at the HARD level (no token taken).
+        config = IngestConfig(tenant_rate=10.0, tenant_burst=32,
+                              queue_limit=4, adaptive_sources=False)
+        controller = AdmissionController(config)
+        decisions = [controller.offer(_request("a", 0.0)) for _ in range(8)]
+        assert [d.status for d in decisions[:4]] == [ADMITTED] * 4
+        assert all(d.status == SHED for d in decisions[4:])
+        assert all(d.level == CongestionLevel.HARD for d in decisions[4:])
+        assert controller.shed == 4
+
+    def test_soft_signal_repaces_adaptive_sources(self):
+        # Half-full queue flips the signal to SOFT; with adaptive sources
+        # the next arrivals are re-paced to the sustained rate, so they
+        # admit (later) instead of throttling.
+        config = IngestConfig(tenant_rate=10.0, tenant_burst=64,
+                              queue_limit=8, adaptive_sources=True)
+        controller = AdmissionController(config)
+        decisions = [controller.offer(_request("a", 0.0)) for _ in range(8)]
+        assert all(d.admitted for d in decisions)
+        soft = [d for d in decisions if d.level == CongestionLevel.SOFT]
+        assert soft, "a same-instant volley never crossed the SOFT level"
+        # Re-pacing keeps the virtual queue bounded: release times advance
+        # at exactly the drain rate.
+        releases = [d.release_time for d in decisions]
+        assert releases == sorted(releases)
+
+    def test_admit_restamps_and_reorders(self):
+        config = IngestConfig(tenant_rate=5.0, tenant_burst=2, queue_limit=4,
+                              adaptive_sources=False)
+        controller = AdmissionController(config)
+        requests = [_request("a", 0.0, seq=0), _request("a", 0.0, seq=1),
+                    _request("a", 0.0, seq=2)]
+        admitted = controller.admit(requests)
+        assert len(admitted) == 2  # burst=2, third has no token
+        assert [r.time for r in admitted] == sorted(r.time for r in admitted)
+        # Times were re-stamped to queue release times (drain at 5/s).
+        assert admitted[1].time == pytest.approx(admitted[0].time + 0.2)
+
+    def test_per_tenant_override(self):
+        config = IngestConfig(tenant_rate=10.0, tenant_burst=1,
+                              queue_limit=4, adaptive_sources=False)
+        vip = IngestConfig(tenant_rate=10.0, tenant_burst=8, queue_limit=32,
+                           adaptive_sources=False)
+        controller = AdmissionController(config, per_tenant={"vip": vip})
+        for _ in range(4):
+            controller.offer(_request("vip", 0.0))
+            controller.offer(_request("std", 0.0))
+        summary = controller.tenant_summary(trace_seconds=1.0)
+        assert summary["vip"]["admitted"] == 4
+        assert summary["std"]["admitted"] == 1
+        assert summary["std"]["throttled"] == 3
+        assert summary["vip"]["goodput_pps"] == pytest.approx(4.0)
+
+    def test_counters_and_metrics_agree(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        config = IngestConfig(tenant_rate=10.0, tenant_burst=2, queue_limit=4,
+                              adaptive_sources=False)
+        controller = AdmissionController(config, metrics=metrics)
+        for i in range(6):
+            controller.offer(_request("a", 0.0))
+        assert metrics.counter("ingest.offered").value == 6
+        assert metrics.counter("ingest.admitted").value == \
+            controller.admitted
+        assert metrics.counter("ingest.throttled").value == \
+            controller.throttled
+        assert metrics.timing("ingest.queue_delay_seconds").count == \
+            controller.admitted
+
+
+# --------------------------------------------------------------------- #
+# IngestServer (asyncio frontend)
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def ingest_registry():
+    registry = TenantRegistry(background_swaps=False)
+    ruleset = generate_classifier("acl1", 40, seed=5)
+    registry.register("t0", ruleset)
+    return registry, ruleset
+
+
+class TestIngestServer:
+    def test_submit_requires_running_server(self, ingest_registry):
+        registry, _ = ingest_registry
+        server = IngestServer(registry)
+
+        async def scenario():
+            with pytest.raises(IngestError):
+                await server.submit(_request("t0", 0.0))
+
+        asyncio.run(scenario())
+
+    def test_over_rate_stream_throttles_typed_and_serves_exactly(
+            self, ingest_registry):
+        registry, ruleset = ingest_registry
+        config = IngestConfig(tenant_rate=100.0, tenant_burst=8,
+                              queue_limit=16, adaptive_sources=False)
+        from repro.classbench import generate_trace
+        packets = generate_trace(ruleset, num_packets=40, seed=5)
+
+        async def scenario():
+            answers, throttled = [], 0
+            async with IngestServer(registry, config,
+                                    policy=BatchPolicy(max_batch=4)) as server:
+                # 40 same-instant packets against burst=8: typed rejections
+                # for the overflow, never a silent drop.
+                for i, packet in enumerate(packets):
+                    try:
+                        priority = await server.submit(Request(
+                            tenant_id="t0", packet=packet, time=0.0,
+                            flow_id=0, seq=-1))
+                    except ThrottledError as error:
+                        assert error.reason in ("throttled", "shed")
+                        assert error.tenant_id == "t0"
+                        throttled += 1
+                        continue
+                    answers.append((i, priority))
+            return answers, throttled
+
+        answers, throttled = asyncio.run(scenario())
+        assert len(answers) == 8 and throttled == 32
+        # Every admitted answer equals linear search over the ruleset.
+        for i, priority in answers:
+            expected = ruleset.classify(packets[i])
+            assert priority == (expected.priority if expected else None)
+
+    def test_concurrent_streams_partition_counters(self, ingest_registry):
+        registry, ruleset = ingest_registry
+        registry.register("t1", ruleset)
+        config = IngestConfig(tenant_rate=50.0, tenant_burst=4,
+                              queue_limit=8, adaptive_sources=False)
+
+        async def stream(tenant, count):
+            for i in range(count):
+                yield _request(tenant, time=i * 0.001)
+
+        async def scenario():
+            async with IngestServer(registry, config) as server:
+                summaries = await asyncio.gather(
+                    server.serve_stream("t0", stream("t0", 30)),
+                    server.serve_stream("t1", stream("t1", 20)),
+                )
+            return server, summaries
+
+        server, summaries = asyncio.run(scenario())
+        for summary, count in zip(summaries, (30, 20)):
+            assert summary.offered == count
+            assert (summary.admitted + summary.throttled
+                    + summary.shed) == count
+            assert summary.throttled > 0, \
+                "a 1000 pps stream against rate=50 never throttled"
+            assert len(summary.results) == summary.admitted
+        counters = server.admission.counters()
+        assert counters["ingest_offered"] == 50
+        assert counters["ingest_admitted"] == \
+            sum(s.admitted for s in summaries)
+        assert server.served == counters["ingest_admitted"]
+
+    def test_double_start_raises(self, ingest_registry):
+        registry, _ = ingest_registry
+
+        async def scenario():
+            async with IngestServer(registry) as server:
+                with pytest.raises(IngestError):
+                    server.start()
+
+        asyncio.run(scenario())

@@ -92,6 +92,28 @@ class TestGoldenReplay:
             assert outcome.report.is_exact, \
                 f"max_batch={max_batch}: {outcome.report.mismatches}"
 
+    def test_ingest_enabled_replay_stays_bit_exact(self, churn_trace):
+        """Trace replay bypasses admission timing: the trace clock is
+        authoritative (its packets were already admitted when recorded), so
+        even a draconian ingest config cannot drop, delay, or reorder a
+        replayed packet — golden traces stay bit-exact and the ingest
+        tallies stay zero (docs/ingest.md)."""
+        from repro.ingest import IngestConfig
+
+        draconian = IngestConfig(tenant_rate=1.0, tenant_burst=1,
+                                 queue_limit=1)
+        outcome = replay_trace(churn_trace, ingest=draconian)
+        report = outcome.report
+        assert report.is_exact, f"mismatches: {report.mismatches}"
+        assert report.num_served == churn_trace.num_records
+        assert report.counters["ingest_offered"] == 0
+        assert report.counters["ingest_admitted"] == 0
+        assert report.counters["ingest_throttled"] == 0
+        assert report.counters["ingest_shed"] == 0
+        # Identical counters to an ingest-free replay: the flag is inert
+        # on the trace path by construction, not merely harmless.
+        assert report.counters == replay_trace(churn_trace).report.counters
+
 
 class TestChurnDeterminism:
     def test_run_serving_same_seed_produces_identical_epochs(self):
