@@ -1,0 +1,104 @@
+"""Acceptance benchmark for load-aware shard rebalancing.
+
+One guarantee asserted end to end against the pinned ``rebalance`` serving
+scorecard (``repro.harness.scorecard.SERVING_SCORECARDS``) and its checked-in
+baseline record (``BENCH_serving_rebalance.json``):
+
+Under a skewed flash crowd (Zipf ``alpha=1.5`` tenant popularity, 6x crowd
+rate) the static round-robin placement parks the crowd tenant's traffic on
+one shard.  The load-aware rebalance policy observes the per-shard telemetry
+mid-run, migrates tenants off the hot shard, and ends the run with a strictly
+lower max-shard request share than the static placement — while every served
+packet still equals linear search over the exact ruleset generation its
+engine served (``verify_exactness`` holds *through* the live migrations),
+and the deterministic counters match the single-process reference bit for
+bit once the placement-dependent migration counters are stripped.
+
+Regenerate the baseline with ``scripts/make_bench_baselines.py`` when a
+counter change is intentional.
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table
+from repro.harness.scorecard import (PLACEMENT_COUNTERS, SERVING_SCORECARDS,
+                                     run_serving_scorecard,
+                                     serving_bench_filename)
+from repro.harness.serving import serving_bench_record
+
+
+def _max_shard_share(sharded) -> float:
+    """Largest fraction of total requests any one shard served."""
+    per_shard = [outcome.report.num_requests for outcome in sharded.outcomes]
+    return max(per_shard) / max(sum(per_shard), 1)
+
+
+def _stable_counters(report) -> dict:
+    counters = report.deterministic_counters()
+    for key in PLACEMENT_COUNTERS:
+        counters.pop(key, None)
+    return counters
+
+
+def test_load_aware_rebalancing_flattens_flash_crowd(run_once, benchmark,
+                                                     bench_gate):
+    cfg = SERVING_SCORECARDS["rebalance"]
+    serial = run_serving_scorecard("rebalance", serving_workers=1)
+    static = run_serving_scorecard("rebalance", rebalance_policy_name="none")
+    rebalanced = run_once(run_serving_scorecard, "rebalance")
+    report = rebalanced.report
+
+    static_share = _max_shard_share(static)
+    load_share = _max_shard_share(rebalanced)
+    print("\n=== Load-aware shard rebalancing under a skewed flash crowd ===")
+    print(format_table(["metric", "value"], rebalanced.rows()))
+    print(format_table(["shard", "tenants", "requests", "wall"],
+                       rebalanced.shard_rows()))
+    print(f"max-shard request share: static {static_share:.3f} "
+          f"vs load-aware {load_share:.3f}")
+    benchmark.extra_info["pps"] = report.pps
+    benchmark.extra_info["migrations"] = report.migrations
+    benchmark.extra_info["rebalance_plans"] = report.rebalance_plans
+    benchmark.extra_info["max_share_static"] = static_share
+    benchmark.extra_info["max_share_load"] = load_share
+
+    # The policy actually acted: at least one live migration landed, and the
+    # static run (same workload, policy "none") of course saw none.
+    assert report.migrations >= 1, \
+        "load policy never migrated a tenant off the hot shard"
+    assert report.rebalance_plans >= 1
+    assert static.report.migrations == 0
+
+    # The headline claim: load-aware placement spreads the flash crowd, so
+    # its hottest shard carries a strictly smaller share of the requests
+    # than round-robin's hottest shard.
+    assert load_share < static_share, (
+        f"load-aware max-shard share {load_share:.3f} not below static "
+        f"round-robin's {static_share:.3f}"
+    )
+
+    # No dropped packets: every generated request was answered exactly once.
+    assert report.num_requests == len(rebalanced.workload.requests)
+    assert rebalanced.num_shards == cfg["serving_workers"]
+
+    # Migration is exact: minus the placement-dependent migration counters,
+    # the rebalanced run's deterministic counters equal the single-process
+    # reference bit for bit — decisions depend only on (packet, epoch
+    # ruleset), never on which shard served them.
+    assert _stable_counters(report) == _stable_counters(serial.report)
+
+    # Exactness holds through the live migrations: every served packet,
+    # including those answered after its tenant's slot was shipped across
+    # the shard boundary, equals linear search over its epoch's ruleset.
+    exactness = rebalanced.verify_exactness()
+    assert exactness.num_checked == report.num_requests
+    assert exactness.num_mismatches == 0, (
+        f"{exactness.num_mismatches} answers disagree with linear search "
+        f"across a live migration"
+    )
+
+    record = serving_bench_record(report, name="serving-rebalance",
+                                  config=dict(cfg), exactness=exactness)
+    record.timings["max_share_static"] = static_share
+    record.timings["max_share_load"] = load_share
+    bench_gate(record, serving_bench_filename("rebalance"))

@@ -46,6 +46,8 @@ from repro.baselines import default_baselines
 from repro.classbench import generate_classifier, generate_trace, seed_names
 from repro.executors import EXECUTOR_BACKENDS
 from repro.neurocuts import NeuroCutsConfig, NeuroCutsTrainer
+from repro.serve.rebalance import DEFAULT_REBALANCE_INTERVAL, \
+    REBALANCE_POLICIES
 from repro.rules import io as rules_io
 from repro.tree import load_tree, save_tree, validate_classifier
 from repro.harness import format_table
@@ -210,6 +212,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="adversarial scenario: the busiest tenant's "
                             "offered rate multiplies by FACTOR mid-trace "
                             "(0 = nominal workload; FACTOR > 1 enables)")
+    serve.add_argument("--tenant-zipf", type=float, default=1.0,
+                       metavar="ALPHA",
+                       help="Zipf exponent of the per-tenant traffic split "
+                            "(>1 skews load onto the first tenants; pairs "
+                            "with --rebalance-policy load)")
+    serve.add_argument("--rebalance-policy", default="none",
+                       choices=sorted(REBALANCE_POLICIES),
+                       help="live shard rebalancing policy (needs "
+                            "--serving-workers >= 2; 'load' migrates "
+                            "tenants off overloaded shards mid-run, see "
+                            "docs/architecture.md)")
+    serve.add_argument("--rebalance-interval", type=float,
+                       default=DEFAULT_REBALANCE_INTERVAL, metavar="SECONDS",
+                       help="trace-clock interval between rebalance "
+                            "evaluations")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--json", type=Path, default=None, metavar="PATH",
                        help="also write the run as a BENCH_serve.json "
@@ -286,6 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "workers")
     replay.add_argument("--serving-backend", default="process",
                         choices=EXECUTOR_BACKENDS)
+    replay.add_argument("--rebalance-policy", default="none",
+                        choices=sorted(REBALANCE_POLICIES),
+                        help="replay through the rebalancing front-end "
+                             "with live tenant migrations (needs "
+                             "--serving-workers >= 2; decisions still "
+                             "verify exactly)")
+    replay.add_argument("--rebalance-interval", type=float,
+                        default=DEFAULT_REBALANCE_INTERVAL,
+                        metavar="SECONDS",
+                        help="trace-clock interval between rebalance "
+                             "evaluations")
     replay.add_argument("--ingest", action="store_true",
                         help="replay through the ingest-enabled serving "
                              "path; admission timing is bypassed on "
@@ -558,6 +586,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.retrain_threshold < 0:
         print("error: --retrain-threshold must be >= 0", file=sys.stderr)
         return 2
+    if args.rebalance_policy != "none" and args.serving_workers < 2:
+        print("error: --rebalance-policy needs --serving-workers >= 2",
+              file=sys.stderr)
+        return 2
+    if args.rebalance_interval <= 0:
+        print("error: --rebalance-interval must be > 0", file=sys.stderr)
+        return 2
+    rebalance_policy = None
+    if args.rebalance_policy != "none":
+        from repro.serve.rebalance import make_rebalance_policy
+
+        rebalance_policy = make_rebalance_policy(args.rebalance_policy)
     families = tuple(f.strip() for f in args.families.split(",") if f.strip())
     retrain_policy = None
     if args.retrain_threshold > 0:
@@ -590,6 +630,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             num_packets=args.num_packets,
             num_flows=args.num_flows,
             zipf_alpha=args.zipf,
+            tenant_zipf_alpha=args.tenant_zipf,
             mean_burst=args.burst,
             algorithm=args.algorithm,
             binth=args.binth,
@@ -607,6 +648,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             engine_backend=args.engine_backend,
             ingest=ingest,
             flash_crowd=flash_crowd,
+            rebalance_policy=rebalance_policy,
+            rebalance_interval=args.rebalance_interval,
             seed=args.seed,
         )
     except ValueError as error:
@@ -685,6 +728,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 "tenant_burst": args.tenant_burst if args.ingest else None,
                 "queue_limit": args.queue_limit if args.ingest else None,
                 "flash_crowd": args.flash_crowd,
+                "tenant_zipf": args.tenant_zipf,
+                "rebalance_policy": args.rebalance_policy,
+                "rebalance_interval": args.rebalance_interval
+                if args.rebalance_policy != "none" else None,
                 "seed": args.seed,
             })
         write_bench(record, args.json)
@@ -749,6 +796,18 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     if args.retrain_threshold < 0:
         print("error: --retrain-threshold must be >= 0", file=sys.stderr)
         return 2
+    if args.rebalance_policy != "none" and args.serving_workers < 2:
+        print("error: --rebalance-policy needs --serving-workers >= 2",
+              file=sys.stderr)
+        return 2
+    if args.rebalance_interval <= 0:
+        print("error: --rebalance-interval must be > 0", file=sys.stderr)
+        return 2
+    rebalance_policy = None
+    if args.rebalance_policy != "none":
+        from repro.serve.rebalance import make_rebalance_policy
+
+        rebalance_policy = make_rebalance_policy(args.rebalance_policy)
     ingest = None
     if args.ingest:
         from repro.ingest import IngestConfig
@@ -782,6 +841,8 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
             serving_workers=args.serving_workers,
             serving_backend=args.serving_backend,
             ingest=ingest,
+            rebalance_policy=rebalance_policy,
+            rebalance_interval=args.rebalance_interval,
         )
     except (TraceError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -97,6 +97,28 @@ class FlowCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def entries(self) -> "list[Tuple[FlowKey, int]]":
+        """The cached ``(flow key, rule index)`` pairs in LRU order.
+
+        What ships when a tenant slot migrates between serving shards —
+        restoring them on the target keeps hit/miss telemetry continuous
+        across the move.
+        """
+        return list(self._entries.items())
+
+    def restore(self, entries: "list[Tuple[FlowKey, int]]",
+                stats: FlowCacheStats) -> None:
+        """Adopt another cache's entries and counters (slot migration).
+
+        Replaces contents wholesale without touching eviction or
+        invalidation counters; entries beyond capacity are dropped oldest
+        first (uncounted — they were already accounted by the source).
+        """
+        self._entries = OrderedDict(entries)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        self.stats = stats
+
     def clear(self) -> int:
         """Drop every entry; returns how many flows were invalidated.
 

@@ -37,6 +37,7 @@ from repro.ingest.admission import IngestConfig
 from repro.serve.batcher import BatchPolicy
 from repro.serve.controller import RetrainController, RetrainPolicy
 from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD
+from repro.serve.rebalance import DEFAULT_REBALANCE_INTERVAL, RebalancePolicy
 from repro.serve.registry import TenantRegistry
 from repro.serve.service import ClassificationService, ServedBatch, \
     ServingReport
@@ -310,6 +311,8 @@ def run_serving(
     trace_path: Optional[Union[str, Path, ServingTrace]] = None,
     ingest: Optional[IngestConfig] = None,
     flash_crowd: Optional[FlashCrowdConfig] = None,
+    rebalance_policy: Optional[RebalancePolicy] = None,
+    rebalance_interval: float = DEFAULT_REBALANCE_INTERVAL,
     seed: int = 0,
 ):
     """Serve a multi-tenant workload and collect telemetry.
@@ -357,9 +360,20 @@ def run_serving(
     authoritative — re-running admission against replay-time stamps would
     perturb the recorded stream.  ``flash_crowd`` is rejected there (the
     workload comes from the trace, so there is nothing to generate).
+
+    ``rebalance_policy`` (with ``serving_workers > 1``) switches the
+    sharded path into the rebalancing front-end: the policy is evaluated
+    every ``rebalance_interval`` trace seconds on live per-shard telemetry
+    and planned tenants are live-migrated between shards mid-run (see
+    :mod:`repro.serve.rebalance`).
     """
     if serving_workers < 1:
         raise ValueError("serving_workers must be >= 1")
+    if rebalance_policy is not None and serving_workers < 2:
+        raise ValueError(
+            "rebalance_policy needs serving_workers >= 2 "
+            "(there is nothing to rebalance on one shard)"
+        )
     if trace_path is not None:
         if flash_crowd is not None:
             raise ValueError(
@@ -424,6 +438,8 @@ def run_serving(
             retrain_policy=retrain_policy,
             engine_backend=engine_backend,
             ingest=ingest,
+            rebalance_policy=rebalance_policy,
+            rebalance_interval=rebalance_interval,
         )
         return ShardedServingResult(report=report, workload=workload,
                                     outcomes=outcomes, plan=plan)

@@ -26,7 +26,22 @@ from repro.serve.controller import (
     RetrainPolicy,
     RetrainStats,
 )
-from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD, EngineSlot, SwapStats
+from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD, EngineSlot, \
+    SlotState, SwapStats
+from repro.serve.rebalance import (
+    DEFAULT_REBALANCE_INTERVAL,
+    REBALANCE_POLICIES,
+    LoadAwareRebalancePolicy,
+    MigrationPlan,
+    NoRebalancePolicy,
+    RebalancePolicy,
+    ScheduledRebalancePolicy,
+    ShardTelemetry,
+    TelemetrySnapshot,
+    TenantLoad,
+    TenantMigration,
+    make_rebalance_policy,
+)
 from repro.serve.registry import TenantRegistry, UnknownTenantError
 from repro.serve.service import (
     LATENCY_PERCENTILES,
@@ -34,6 +49,7 @@ from repro.serve.service import (
     RuleUpdate,
     ServedBatch,
     ServingReport,
+    ServingSession,
 )
 from repro.serve.sharded import (
     SERVING_BACKENDS,
@@ -42,6 +58,7 @@ from repro.serve.sharded import (
     ShardTask,
     ShardTenant,
     merge_reports,
+    serve_rebalancing,
     serve_shard,
     serve_sharded,
     shard_tenants,
@@ -57,7 +74,20 @@ __all__ = [
     "RetrainStats",
     "DEFAULT_RETRAIN_THRESHOLD",
     "EngineSlot",
+    "SlotState",
     "SwapStats",
+    "DEFAULT_REBALANCE_INTERVAL",
+    "REBALANCE_POLICIES",
+    "LoadAwareRebalancePolicy",
+    "MigrationPlan",
+    "NoRebalancePolicy",
+    "RebalancePolicy",
+    "ScheduledRebalancePolicy",
+    "ShardTelemetry",
+    "TelemetrySnapshot",
+    "TenantLoad",
+    "TenantMigration",
+    "make_rebalance_policy",
     "TenantRegistry",
     "UnknownTenantError",
     "LATENCY_PERCENTILES",
@@ -65,12 +95,14 @@ __all__ = [
     "RuleUpdate",
     "ServedBatch",
     "ServingReport",
+    "ServingSession",
     "SERVING_BACKENDS",
     "ShardOutcome",
     "ShardPlan",
     "ShardTask",
     "ShardTenant",
     "merge_reports",
+    "serve_rebalancing",
     "serve_shard",
     "serve_sharded",
     "shard_tenants",

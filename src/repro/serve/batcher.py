@@ -89,6 +89,10 @@ class MicroBatcher:
     def pending_tenants(self) -> List[str]:
         return [t for t, q in self._queues.items() if q]
 
+    def pending(self, tenant_id: str) -> int:
+        """Requests of one tenant still queued (0 = no in-flight batch)."""
+        return len(self._queues.get(tenant_id, []))
+
     def offer(self, request: Request) -> List[Tuple[str, List[Request]]]:
         """Enqueue a request; returns any batches released by its arrival.
 

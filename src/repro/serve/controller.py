@@ -46,6 +46,20 @@ from repro.serve.registry import TenantRegistry, UnknownTenantError
 RETRAIN_BACKENDS = EXECUTOR_BACKENDS
 
 
+def classifier_objective(stats, time_space_coeff: float) -> float:
+    """The scalar time/space objective a retrained tree must beat.
+
+    Mirrors the paper's weighted objective (Section 4.2): the time term is
+    the classifier's worst-case traversal cost in node accesses, the space
+    term its per-rule memory footprint.  ``time_space_coeff=1.0`` (the
+    default policy) reduces to pure classification time.  Both terms come
+    from :mod:`repro.tree.stats` so the gate compares candidate and
+    incumbent under the identical cost model used by the figure benchmarks.
+    """
+    return (time_space_coeff * stats.classification_time
+            + (1.0 - time_space_coeff) * stats.bytes_per_rule)
+
+
 @dataclass(frozen=True)
 class RetrainPolicy:
     """How (and how hard) to retrain when a slot's drift crosses threshold.
@@ -64,6 +78,15 @@ class RetrainPolicy:
             ``"serial"`` (inline at trigger time, deterministic).
         time_space_coeff: the paper's time/space coefficient for the
             retrained tree's objective.
+        quality_gate: when True (default), a finished retrain is only
+            adopted if its time/space objective *strictly beats* the
+            incrementally-patched incumbent classifier; otherwise it is
+            rejected (counted in :attr:`RetrainStats.rejected`) and the
+            incumbent keeps serving.  Training is stochastic — a short
+            retrain budget can produce a worse tree than the patched
+            original, and adopting it unconditionally would regress
+            serving latency.  Set False to restore unconditional adoption
+            (tests of the adoption mechanics use this).
         seed: base RNG seed; each launched job derives its own seed from
             this plus the per-tenant launch counter, so successive retrains
             explore different rollouts.
@@ -74,6 +97,7 @@ class RetrainPolicy:
     rollout_workers: int = 1
     backend: str = "thread"
     time_space_coeff: float = 1.0
+    quality_gate: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -108,6 +132,9 @@ class RetrainStats:
     installed: int = 0
     #: Finished jobs thrown away (tenant deregistered while training).
     discarded: int = 0
+    #: Finished jobs whose tree failed the quality gate (objective did not
+    #: beat the patched incumbent); the incumbent kept serving.
+    rejected: int = 0
     #: Wall seconds each *installed* job spent training, in install order.
     train_seconds: List[float] = field(default_factory=list)
 
@@ -120,6 +147,7 @@ class RetrainStats:
         self.triggered += other.triggered
         self.installed += other.installed
         self.discarded += other.discarded
+        self.rejected += other.rejected
         self.train_seconds.extend(other.train_seconds)
         return self
 
@@ -128,6 +156,7 @@ class RetrainStats:
             "triggered": self.triggered,
             "installed": self.installed,
             "discarded": self.discarded,
+            "rejected": self.rejected,
             "mean_train_seconds": (
                 sum(self.train_seconds) / len(self.train_seconds)
                 if self.train_seconds else 0.0
@@ -217,6 +246,38 @@ class RetrainController:
         return [tenant_id for tenant_id in self.registry.tenants()
                 if self.poll_tenant(tenant_id)]
 
+    def drain_tenant(self, tenant_id: str) -> bool:
+        """Land (or reject) one tenant's in-flight retrain, blocking.
+
+        The pre-migration quiesce: a tenant cannot ship to another shard
+        while a retrain trained against its old slot is still in flight.
+        Returns True if a tree was installed.
+        """
+        job = self._jobs.pop(tenant_id, None)
+        if job is None:
+            return False
+        return self._install(job)
+
+    def export_tenant(self, tenant_id: str) -> int:
+        """Forget a migrating tenant and return its retrain launch count.
+
+        Call after :meth:`drain_tenant`; raises if a job is still in
+        flight.  The launch count ships with the tenant so the target
+        shard's controller continues the per-tenant seed sequence exactly
+        where this one left off — retrain N produces the same training run
+        no matter which shard launches it.
+        """
+        if tenant_id in self._jobs:
+            raise RuntimeError(
+                f"tenant {tenant_id!r} has a retrain in flight; "
+                f"drain_tenant() before exporting"
+            )
+        return self._launch_counts.pop(tenant_id, 0)
+
+    def import_tenant(self, tenant_id: str, launch_count: int) -> None:
+        """Adopt a migrated tenant's retrain launch count (seed continuity)."""
+        self._launch_counts[tenant_id] = launch_count
+
     def drain(self) -> List[str]:
         """Block until every in-flight retrain finishes and installs.
 
@@ -273,6 +334,22 @@ class RetrainController:
             self.stats.discarded += 1
             return False
         classifier = response.classifier(job.base_ruleset)
+        if self.policy.quality_gate:
+            # Strict improvement required: a tie means the retrain bought
+            # nothing, so the incumbent (with its warm flow cache and
+            # already-compiled engine) keeps serving.  The incumbent's
+            # stats reflect every incremental patch applied since the last
+            # adoption — exactly the tree the candidate must beat.
+            coeff = self.policy.time_space_coeff
+            candidate = classifier_objective(classifier.stats(), coeff)
+            incumbent = classifier_objective(slot.classifier.stats(), coeff)
+            if candidate >= incumbent:
+                self.stats.rejected += 1
+                # Restart the drift counters: without this the very next
+                # poll would relaunch the same losing retrain in a loop.
+                slot.note_retrain_rejected()
+                slot.metrics.counter("serve.retrains_rejected").inc()
+                return False
         slot.adopt_classifier(classifier, base_ruleset=job.base_ruleset)
         self.stats.installed += 1
         self.stats.train_seconds.append(response.wall_seconds)

@@ -23,12 +23,13 @@ from repro.engine.cache import DEFAULT_FLOW_CACHE_SIZE, FlowCacheStats
 from repro.engine.compile import compile_classifier, \
     partial_compile_classifier
 from repro.engine.dispatch import CompiledClassifier
-from repro.neurocuts.updates import IncrementalUpdater
+from repro.neurocuts.updates import IncrementalUpdater, UpdateStats
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.serialize import stable_dict
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
 from repro.tree.lookup import TreeClassifier
+from repro.tree.serialize import tree_from_dict, tree_to_dict
 
 #: Default number of accumulated rule updates before a slot advises a
 #: retrain.  Effectively "never" — retraining is opt-in; pass a real
@@ -76,6 +77,52 @@ class SwapStats:
                 if self.build_seconds else 0.0
             ),
         })
+
+
+@dataclass
+class SlotState:
+    """A picklable snapshot of one :class:`EngineSlot`, taken at quiesce.
+
+    This is what crosses the wire when a tenant migrates between serving
+    shards (:mod:`repro.serve.rebalance`): the decision trees (serialized,
+    compiled arrays never travel), the full per-epoch ruleset history so
+    differential exactness holds *across* the migration boundary, the
+    pending-update counters so the retrain trigger carries over, and the
+    flow-cache contents so cache telemetry stays continuous.  Restore with
+    :meth:`EngineSlot.from_state` — the rebuilt slot compiles an engine
+    from the shipped trees for the *same* epoch, so every later packet is
+    still classified against its epoch's ruleset.
+    """
+
+    tenant_id: str
+    #: One ``(tree_to_dict(tree), tree.ruleset)`` pair per tree; each tree
+    #: is reconstructed against its own ruleset (partitioned trees hold
+    #: subsets of the classifier ruleset).
+    tree_payloads: List[Tuple[dict, RuleSet]]
+    classifier_name: str
+    #: The classifier's current ruleset (equals ``epoch_rulesets[-1]``).
+    ruleset: RuleSet
+    #: Per-epoch ruleset snapshots, epoch 0 first.
+    epoch_rulesets: List[RuleSet]
+    epoch: int
+    #: ``(rules_added, rules_removed, leaves_touched)`` per updater, so
+    #: ``updates_since_adoption`` / ``needs_retraining`` survive the move.
+    updater_stats: List[Tuple[int, int, int]]
+    retrain_threshold: int
+    flow_cache_size: Optional[int]
+    background: bool
+    engine_backend: str
+    partial_recompile: bool
+    swap_stats: SwapStats
+    retired_cache_stats: FlowCacheStats
+    #: Live flow-cache contents as ``(flow key, matched rule or None)``.
+    #: Entries ship as *rules*, not engine indices: the source engine's
+    #: rule table reflects its compile history (partial recompiles append
+    #: new rules at the end), so its indices are meaningless in the
+    #: target's freshly-compiled table.  The import side re-interns each
+    #: rule against the new engine's table.
+    cache_entries: List[Tuple[Tuple[int, int, int, int, int], Optional[Rule]]]
+    cache_stats: FlowCacheStats
 
 
 class EngineSlot:
@@ -221,6 +268,39 @@ class EngineSlot:
             total.merge(self._active.flow_cache.stats)
         return total
 
+    def telemetry_snapshot(self) -> dict:
+        """A *consistent* per-tenant telemetry entry.
+
+        Field-by-field reads (the old ``TenantRegistry.telemetry()`` path)
+        can race a concurrent :meth:`adopt_classifier`: the classifier
+        reference and the updater list are replaced in two steps, so a
+        reader could pair the retrained trees with the pre-adopt update
+        counters — a half-updated retrain entry.  The snapshot captures
+        the references once, computes every figure from the captured pair,
+        and retries if the slot swapped underneath — the same versioning
+        discipline the end-of-trace quiesce gives ``ServingReport.metrics``.
+        """
+        while True:
+            epoch = self.epoch
+            classifier = self.classifier
+            updaters = self._updaters
+            entry = {
+                "rules": len(classifier.ruleset),
+                "epoch": epoch,
+                "cache": self.cache_stats().as_dict(),
+                "swap": self.swap_stats.as_dict(),
+                "retrain": {
+                    "accumulated_updates": sum(
+                        u.stats.total_updates for u in updaters),
+                    "threshold": self.retrain_threshold,
+                    "needs_retraining": any(
+                        u.needs_retraining() for u in updaters),
+                },
+            }
+            if self.epoch == epoch and self.classifier is classifier \
+                    and self._updaters is updaters:
+                return entry
+
     # ------------------------------------------------------------------ #
     # Serving path
     # ------------------------------------------------------------------ #
@@ -349,6 +429,127 @@ class EngineSlot:
         a serving stall, so it is not counted in :class:`SwapStats`.
         """
         self._join_builder(count_stall=False)
+
+    def note_retrain_rejected(self) -> None:
+        """Reset the retrain trigger after a quality-gate rejection.
+
+        The incrementally-patched incumbent beat the retrained candidate,
+        i.e. the accumulated drift did not actually degrade this slot —
+        so the evidence that triggered the retrain is spent.  Counting
+        restarts from zero; without this the controller would relaunch on
+        every poll against the same (already-refuted) counters.
+        """
+        for updater in self._updaters:
+            updater.stats = UpdateStats()
+
+    # ------------------------------------------------------------------ #
+    # Migration (ship the slot across a shard boundary)
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> SlotState:
+        """Snapshot everything a target shard needs to take this slot over.
+
+        Quiesces first (any in-flight rebuild lands), then serialises the
+        decision trees, the per-epoch ruleset history, the pending-update
+        and swap counters, and the live flow-cache contents.  The returned
+        :class:`SlotState` is picklable and decoupled from this slot (no
+        shared mutable state), so the source can be deregistered the
+        moment it is taken.
+        """
+        self.force_swap()
+        cache = self._active.flow_cache
+        return SlotState(
+            tenant_id=self.tenant_id,
+            tree_payloads=[(tree_to_dict(tree), tree.ruleset)
+                           for tree in self.classifier.trees],
+            classifier_name=self.classifier.name,
+            ruleset=self.ruleset,
+            epoch_rulesets=list(self._rulesets),
+            epoch=self.epoch,
+            updater_stats=[(u.stats.rules_added, u.stats.rules_removed,
+                            u.stats.leaves_touched) for u in self._updaters],
+            retrain_threshold=self.retrain_threshold,
+            flow_cache_size=self.flow_cache_size,
+            background=self.background,
+            engine_backend=self.engine_backend,
+            partial_recompile=self.partial_recompile,
+            swap_stats=SwapStats(
+                swaps=self.swap_stats.swaps,
+                stalls=self.swap_stats.stalls,
+                stall_seconds=self.swap_stats.stall_seconds,
+                build_seconds=list(self.swap_stats.build_seconds),
+                stale_builds=self.swap_stats.stale_builds,
+            ),
+            retired_cache_stats=FlowCacheStats(
+                hits=self.retired_cache_stats.hits,
+                misses=self.retired_cache_stats.misses,
+                evictions=self.retired_cache_stats.evictions,
+                invalidations=self.retired_cache_stats.invalidations,
+            ),
+            cache_entries=[
+                (key, None if index < 0 else self._active.rules[index])
+                for key, index in cache.entries()
+            ] if cache is not None else [],
+            cache_stats=FlowCacheStats(
+                hits=cache.stats.hits,
+                misses=cache.stats.misses,
+                evictions=cache.stats.evictions,
+                invalidations=cache.stats.invalidations,
+            ) if cache is not None else FlowCacheStats(),
+        )
+
+    @classmethod
+    def from_state(cls, state: SlotState,
+                   metrics: Optional[MetricsRegistry] = None) -> "EngineSlot":
+        """Rebuild a slot from a shipped :class:`SlotState` (the install).
+
+        The engine is compiled from the shipped trees through the normal
+        constructor path (compiled arrays never cross the wire), then the
+        epoch history, update counters, swap counters, and flow-cache
+        contents are restored — the rebuilt engine serves the *same*
+        epoch the source was on, so the per-epoch exactness contract holds
+        straight through the migration.
+        """
+        if state.epoch != len(state.epoch_rulesets) - 1:
+            raise ValueError(
+                f"slot state for {state.tenant_id!r} is inconsistent: "
+                f"epoch {state.epoch} with "
+                f"{len(state.epoch_rulesets)} ruleset snapshots"
+            )
+        trees = [tree_from_dict(payload, ruleset)
+                 for payload, ruleset in state.tree_payloads]
+        classifier = TreeClassifier(state.ruleset, trees,
+                                    name=state.classifier_name)
+        slot = cls(
+            state.tenant_id,
+            classifier,
+            flow_cache_size=state.flow_cache_size,
+            background=state.background,
+            retrain_threshold=state.retrain_threshold,
+            metrics=metrics,
+            engine_backend=state.engine_backend,
+            partial_recompile=state.partial_recompile,
+        )
+        slot._rulesets = list(state.epoch_rulesets)
+        slot.epoch = state.epoch
+        slot.swap_stats = state.swap_stats
+        slot.retired_cache_stats = state.retired_cache_stats
+        for updater, (added, removed, touched) in zip(slot._updaters,
+                                                      state.updater_stats):
+            updater.stats = UpdateStats(rules_added=added,
+                                        rules_removed=removed,
+                                        leaves_touched=touched)
+        if slot._active.flow_cache is not None:
+            # Re-intern the shipped (flow key, rule) pairs against the new
+            # engine's rule table; -1 is the cached "no match" sentinel.
+            index_of = {rule: i for i, rule in enumerate(slot._active.rules)}
+            entries = [
+                (key, -1 if rule is None else index_of[rule])
+                for key, rule in state.cache_entries
+                if rule is None or rule in index_of
+            ]
+            slot._active.flow_cache.restore(entries, state.cache_stats)
+        return slot
 
     def _join_builder(self, count_stall: bool) -> None:
         if self._builder is None:

@@ -18,7 +18,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.rules.rule import Rule
 from repro.rules.ruleset import RuleSet
 from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD, EngineSlot, \
-    SwapStats
+    SlotState, SwapStats
 from repro.tree.lookup import TreeClassifier
 
 
@@ -134,6 +134,41 @@ class TenantRegistry:
         slot = self.slot(tenant_id)
         slot.force_swap()
         del self._slots[tenant_id]
+        self.metrics.gauge("serve.tenants").set(len(self._slots))
+        return slot
+
+    def export_slot(self, tenant_id: str) -> SlotState:
+        """Remove a tenant and return its picklable serving state.
+
+        The ship half of a live migration: the slot quiesces (pending
+        rebuild installed), its full state — trees, epoch history, pending
+        update counters, swap stats, flow cache — is snapshotted, and the
+        tenant leaves this registry.  Feed the state to another registry's
+        :meth:`import_slot`.
+        """
+        slot = self.slot(tenant_id)
+        state = slot.export_state()
+        del self._slots[tenant_id]
+        self.metrics.gauge("serve.tenants").set(len(self._slots))
+        self.metrics.counter("serve.migrations_out").inc()
+        return state
+
+    def import_slot(self, state: SlotState) -> EngineSlot:
+        """Install a migrated tenant from its shipped state.
+
+        The install half of a live migration: the engine is recompiled
+        from the shipped trees (same atomic-install path as registration),
+        the epoch history carries over, and the tenant starts serving here
+        at the exact epoch it left the source shard on.
+        """
+        if state.tenant_id in self._slots:
+            raise ValueError(
+                f"tenant {state.tenant_id!r} is already registered"
+            )
+        slot = EngineSlot.from_state(state, metrics=self.metrics)
+        self._slots[state.tenant_id] = slot
+        self.metrics.gauge("serve.tenants").set(len(self._slots))
+        self.metrics.counter("serve.migrations_in").inc()
         return slot
 
     def slot(self, tenant_id: str) -> EngineSlot:
@@ -169,18 +204,16 @@ class TenantRegistry:
         return merged
 
     def telemetry(self) -> Dict[str, dict]:
-        """Per-tenant cache, swap, and retrain counters, keyed by tenant id."""
+        """Per-tenant cache, swap, and retrain counters, keyed by tenant id.
+
+        Each entry is taken through
+        :meth:`~repro.serve.engines.EngineSlot.telemetry_snapshot`, which
+        captures the slot's classifier/updater pair under its swap
+        versioning — a reader racing a background adopt can never see a
+        half-updated retrain entry (retrained trees paired with pre-adopt
+        counters, or vice versa).
+        """
         return {
-            tenant_id: {
-                "rules": len(slot.ruleset),
-                "epoch": slot.epoch,
-                "cache": slot.cache_stats().as_dict(),
-                "swap": slot.swap_stats.as_dict(),
-                "retrain": {
-                    "accumulated_updates": slot.updates_since_adoption,
-                    "threshold": slot.retrain_threshold,
-                    "needs_retraining": slot.needs_retraining(),
-                },
-            }
+            tenant_id: slot.telemetry_snapshot()
             for tenant_id, slot in self._slots.items()
         }

@@ -99,6 +99,14 @@ class ServingReport:
     retrains_triggered: int = 0
     retrains_installed: int = 0
     retrains_discarded: int = 0
+    #: Retrained trees whose time/space objective failed to beat the
+    #: incrementally-patched incumbent (quality gate; see RetrainController).
+    retrains_rejected: int = 0
+    #: Live tenant migrations completed (zero outside the rebalancing
+    #: sharded path; see repro.serve.rebalance).
+    migrations: int = 0
+    #: Rebalance plans evaluated on the trace clock (one per interval).
+    rebalance_plans: int = 0
     #: Admission-control tally (all zero when no ingestion frontend is
     #: attached).  Invariant: offered == admitted + throttled + shed, and
     #: num_requests == ingest_admitted whenever ingest_offered > 0 — every
@@ -159,6 +167,9 @@ class ServingReport:
             "retrains_triggered": self.retrains_triggered,
             "retrains_installed": self.retrains_installed,
             "retrains_discarded": self.retrains_discarded,
+            "retrains_rejected": self.retrains_rejected,
+            "migrations": self.migrations,
+            "rebalance_plans": self.rebalance_plans,
             "ingest_offered": self.ingest_offered,
             "ingest_admitted": self.ingest_admitted,
             "ingest_throttled": self.ingest_throttled,
@@ -189,7 +200,14 @@ class ServingReport:
                 "retrains",
                 f"{self.retrains_triggered:,} triggered, "
                 f"{self.retrains_installed:,} installed, "
+                f"{self.retrains_rejected:,} rejected, "
                 f"{self.retrains_discarded:,} discarded",
+            ])
+        if self.migrations or self.rebalance_plans:
+            rows.append([
+                "rebalancing",
+                f"{self.rebalance_plans:,} plans, "
+                f"{self.migrations:,} migrations",
             ])
         if self.ingest_offered:
             rows.append([
@@ -278,117 +296,211 @@ class ClassificationService:
                 per_tenant=self.per_tenant_ingest,
             )
             requests = admission.admit(requests)
-        batcher = MicroBatcher(self.policy)
-        pending_updates = sorted(updates, key=lambda u: u.time)
-        latencies: List[float] = []
-        recorded: List[ServedBatch] = []
-        num_batches = 0
-        num_served = 0
-        engine_seconds = 0.0
-        metrics = self.registry.metrics
-        flush_timing = metrics.timing("serve.batch_flush_seconds")
-        queue_timing = metrics.timing("serve.queue_wait_seconds")
-        request_counter = metrics.counter("serve.requests")
-        batch_counter = metrics.counter("serve.batches")
-
-        def execute(tenant_id: str, batch: List[Request],
-                    flush_time: float) -> None:
-            nonlocal num_batches, num_served, engine_seconds
-            if not batch:
-                return
-            # The event loop only releases queues when an event (arrival,
-            # update, end of trace) reaches it, which can be long after the
-            # queue's deadline if the stream went idle.  A timer-driven
-            # batcher would have fired at oldest-arrival + max_delay, so
-            # queueing latency is charged against that moment (never before
-            # the batch's last arrival).
-            flush_time = max(batch[-1].time,
-                             min(flush_time,
-                                 batch[0].time + self.policy.max_delay))
-            if self.retrain_controller is not None:
-                # Land a finished background retrain before picking the
-                # engine, so the new tree starts serving at the earliest
-                # batch boundary after training completes.
-                self.retrain_controller.poll_tenant(tenant_id)
-            slot = self.registry.slot(tenant_id)
-            engine = slot.engine()  # installs a finished swap, if any
-            epoch = slot.epoch
-            values = packets_to_array([r.packet for r in batch])
-            start = time.perf_counter()
-            indices = engine.lookup_batch(values)
-            wall = time.perf_counter() - start
-            engine_seconds += wall
-            num_batches += 1
-            num_served += len(batch)
-            flush_timing.observe(wall)
-            batch_counter.inc()
-            request_counter.inc(len(batch))
-            for request in batch:
-                queue_timing.observe(flush_time - request.time)
-                latencies.append((flush_time - request.time) + wall)
-            if self.record_batches:
-                recorded.append(ServedBatch(
-                    tenant_id=tenant_id,
-                    epoch=epoch,
-                    flush_time=flush_time,
-                    wall_seconds=wall,
-                    requests=batch,
-                    priorities=[
-                        engine.rules[i].priority if i >= 0 else None
-                        for i in indices
-                    ],
-                ))
-
-        wall_start = time.perf_counter()
-        update_index = 0
-        last_time = 0.0
+        session = self.session(updates=updates, admission=admission)
         for request in requests:
-            last_time = max(last_time, request.time)
-            # Apply every update scheduled before this arrival.  The owning
-            # tenant's queue is flushed first so packets that arrived before
-            # the update are classified by the pre-update engine.
-            while update_index < len(pending_updates) and \
-                    pending_updates[update_index].time <= request.time:
-                update = pending_updates[update_index]
-                update_index += 1
-                last_time = max(last_time, update.time)
-                for tenant_id, batch in batcher.poll(update.time):
-                    execute(tenant_id, batch, update.time)
-                execute(update.tenant_id, batcher.flush(update.tenant_id),
-                        update.time)
-                self.registry.apply_update(
-                    update.tenant_id, adds=update.adds, removes=update.removes
-                )
-                if self.retrain_controller is not None:
-                    # The update may have pushed the slot past its retrain
-                    # threshold; trigger the background job right away.
-                    self.retrain_controller.poll_tenant(update.tenant_id)
-            for tenant_id, batch in batcher.offer(request):
-                execute(tenant_id, batch, request.time)
+            session.offer(request)
+        return session.finish()
+
+    def session(self, updates: Sequence[RuleUpdate] = (),
+                admission: Optional[AdmissionController] = None
+                ) -> "ServingSession":
+        """Open an incremental serving session (the streaming form of
+        :meth:`serve`).
+
+        Offer requests in time order, then :meth:`ServingSession.finish`.
+        The rebalancing front-end (:mod:`repro.serve.sharded`) drives
+        several sessions side by side — one per logical shard — routing
+        each event to the session that currently owns its tenant, which is
+        what makes mid-run tenant migration possible at all.
+        """
+        return ServingSession(self, updates=updates, admission=admission)
+
+
+class ServingSession:
+    """One in-progress serving run, driven event by event.
+
+    Exactly the loop :meth:`ClassificationService.serve` used to inline,
+    split at its event boundaries so a front-end can interleave several
+    sessions on one trace clock.  Semantics are identical: updates
+    scheduled at construction are applied ahead of the first arrival past
+    their timestamp, batches release by size or deadline, and
+    :meth:`finish` applies tail updates, drains every queue, and builds
+    the :class:`ServingReport`.
+
+    The migration hooks are :meth:`poll` (advance deadline releases to a
+    trace timestamp without offering anything), :meth:`queue_depth` (is a
+    tenant's in-flight batch drained?), and :meth:`deliver_update` (route
+    one update now, for front-ends that own the update schedule).
+    """
+
+    def __init__(self, service: ClassificationService,
+                 updates: Sequence[RuleUpdate] = (),
+                 admission: Optional[AdmissionController] = None) -> None:
+        self.service = service
+        self.registry = service.registry
+        self.batcher = MicroBatcher(service.policy)
+        self.admission = admission
+        self._pending_updates = sorted(updates, key=lambda u: u.time)
+        self._update_index = 0
+        self._latencies: List[float] = []
+        self._recorded: List[ServedBatch] = []
+        self._num_batches = 0
+        self._num_served = 0
+        self._num_updates = 0
+        self._engine_seconds = 0.0
+        self._last_time = 0.0
+        self._wall_start = time.perf_counter()
+        metrics = self.registry.metrics
+        self._flush_timing = metrics.timing("serve.batch_flush_seconds")
+        self._queue_timing = metrics.timing("serve.queue_wait_seconds")
+        self._request_counter = metrics.counter("serve.requests")
+        self._batch_counter = metrics.counter("serve.batches")
+
+    # ------------------------------------------------------------------ #
+    # Event intake
+    # ------------------------------------------------------------------ #
+
+    @property
+    def last_time(self) -> float:
+        """Largest trace timestamp of any event this session has seen."""
+        return self._last_time
+
+    def offer(self, request: Request) -> None:
+        """Feed one arrival; applies due scheduled updates first."""
+        self._last_time = max(self._last_time, request.time)
+        # Apply every update scheduled before this arrival.  The owning
+        # tenant's queue is flushed first so packets that arrived before
+        # the update are classified by the pre-update engine.
+        while self._update_index < len(self._pending_updates) and \
+                self._pending_updates[self._update_index].time <= request.time:
+            update = self._pending_updates[self._update_index]
+            self._update_index += 1
+            self.deliver_update(update)
+        for tenant_id, batch in self.batcher.offer(request):
+            self._execute(tenant_id, batch, request.time)
+
+    def deliver_update(self, update: RuleUpdate) -> None:
+        """Apply one rule update now (mid-stream semantics).
+
+        Deadline-expired queues release first, then the owning tenant's
+        queue is flushed so pre-update packets see the pre-update engine.
+        """
+        self._last_time = max(self._last_time, update.time)
+        self._num_updates += 1
+        for tenant_id, batch in self.batcher.poll(update.time):
+            self._execute(tenant_id, batch, update.time)
+        self._execute(update.tenant_id, self.batcher.flush(update.tenant_id),
+                      update.time)
+        self.registry.apply_update(
+            update.tenant_id, adds=update.adds, removes=update.removes
+        )
+        if self.service.retrain_controller is not None:
+            # The update may have pushed the slot past its retrain
+            # threshold; trigger the background job right away.
+            self.service.retrain_controller.poll_tenant(update.tenant_id)
+
+    def poll(self, now: float) -> None:
+        """Release every queue whose deadline has passed at ``now``.
+
+        Batch composition is poll-frequency-invariant: a deadline-expired
+        queue can never gain members (any later arrival would release it
+        first), and the flush-time clamp in ``_execute`` charges latency
+        against the deadline either way.  Front-ends use this before a
+        migration check so ``queue_depth`` reflects trace time ``now``.
+        """
+        for tenant_id, batch in self.batcher.poll(now):
+            self._execute(tenant_id, batch, now)
+
+    def queue_depth(self, tenant_id: str) -> int:
+        """Requests of one tenant still queued (its in-flight batch)."""
+        return self.batcher.pending(tenant_id)
+
+    # ------------------------------------------------------------------ #
+    # Batch execution
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, tenant_id: str, batch: List[Request],
+                 flush_time: float) -> None:
+        if not batch:
+            return
+        # The event loop only releases queues when an event (arrival,
+        # update, end of trace) reaches it, which can be long after the
+        # queue's deadline if the stream went idle.  A timer-driven
+        # batcher would have fired at oldest-arrival + max_delay, so
+        # queueing latency is charged against that moment (never before
+        # the batch's last arrival).
+        flush_time = max(batch[-1].time,
+                         min(flush_time,
+                             batch[0].time + self.service.policy.max_delay))
+        if self.service.retrain_controller is not None:
+            # Land a finished background retrain before picking the
+            # engine, so the new tree starts serving at the earliest
+            # batch boundary after training completes.
+            self.service.retrain_controller.poll_tenant(tenant_id)
+        slot = self.registry.slot(tenant_id)
+        engine = slot.engine()  # installs a finished swap, if any
+        epoch = slot.epoch
+        values = packets_to_array([r.packet for r in batch])
+        start = time.perf_counter()
+        indices = engine.lookup_batch(values)
+        wall = time.perf_counter() - start
+        self._engine_seconds += wall
+        self._num_batches += 1
+        self._num_served += len(batch)
+        self._flush_timing.observe(wall)
+        self._batch_counter.inc()
+        self._request_counter.inc(len(batch))
+        self.registry.metrics.counter(
+            f"serve.tenant_requests.{tenant_id}").inc(len(batch))
+        for request in batch:
+            self._queue_timing.observe(flush_time - request.time)
+            self._latencies.append((flush_time - request.time) + wall)
+        if self.service.record_batches:
+            self._recorded.append(ServedBatch(
+                tenant_id=tenant_id,
+                epoch=epoch,
+                flush_time=flush_time,
+                wall_seconds=wall,
+                requests=batch,
+                priorities=[
+                    engine.rules[i].priority if i >= 0 else None
+                    for i in indices
+                ],
+            ))
+
+    # ------------------------------------------------------------------ #
+    # Quiesce
+    # ------------------------------------------------------------------ #
+
+    def finish(self) -> ServingReport:
+        """Apply tail updates, drain every queue, and build the report."""
         # Updates scheduled after the last arrival still apply (rule churn
         # with no traffic behind it), then the tail queues drain.
-        for update in pending_updates[update_index:]:
-            last_time = max(last_time, update.time)
-            execute(update.tenant_id, batcher.flush(update.tenant_id),
-                    update.time)
+        for update in self._pending_updates[self._update_index:]:
+            self._update_index += 1
+            self._last_time = max(self._last_time, update.time)
+            self._num_updates += 1
+            self._execute(update.tenant_id,
+                          self.batcher.flush(update.tenant_id), update.time)
             self.registry.apply_update(
                 update.tenant_id, adds=update.adds, removes=update.removes
             )
-            if self.retrain_controller is not None:
-                self.retrain_controller.poll_tenant(update.tenant_id)
-        for tenant_id, batch in batcher.flush_all():
-            execute(tenant_id, batch, last_time)
-        if self.retrain_controller is not None:
+            if self.service.retrain_controller is not None:
+                self.service.retrain_controller.poll_tenant(update.tenant_id)
+        for tenant_id, batch in self.batcher.flush_all():
+            self._execute(tenant_id, batch, self._last_time)
+        if self.service.retrain_controller is not None:
             # Quiesce: land every in-flight retrain before the registry
             # drain installs the resulting engine rebuilds.
-            self.retrain_controller.drain()
+            self.service.retrain_controller.drain()
         self.registry.drain()
-        wall_seconds = time.perf_counter() - wall_start
+        wall_seconds = time.perf_counter() - self._wall_start
 
+        admission = self.admission
         per_tenant = self.registry.telemetry()
         if admission is not None:
             for tenant_id, summary in \
-                    admission.tenant_summary(last_time).items():
+                    admission.tenant_summary(self._last_time).items():
                 per_tenant.setdefault(tenant_id, {})["ingest"] = summary
         cache = {"hits": 0, "lookups": 0, "evictions": 0, "invalidations": 0}
         swaps = stalls = 0
@@ -402,11 +514,12 @@ class ClassificationService:
             stalls += entry["swap"]["stalls"]
             stall_seconds += entry["swap"]["stall_seconds"]
         percentiles = {
-            pct: float(np.percentile(latencies, pct)) if latencies else 0.0
+            pct: float(np.percentile(self._latencies, pct))
+            if self._latencies else 0.0
             for pct in LATENCY_PERCENTILES
         }
-        retrain_stats = self.retrain_controller.stats \
-            if self.retrain_controller is not None else None
+        controller = self.service.retrain_controller
+        retrain_stats = controller.stats if controller is not None else None
         if retrain_stats is not None:
             # Snapshot (the controller keeps mutating its own instance), with
             # the raw-sample list copied so downstream merges can't alias it.
@@ -414,14 +527,15 @@ class ClassificationService:
                 retrain_stats, train_seconds=list(retrain_stats.train_seconds)
             )
         return ServingReport(
-            num_requests=num_served,
-            num_batches=num_batches,
-            num_updates=len(pending_updates),
+            num_requests=self._num_served,
+            num_batches=self._num_batches,
+            num_updates=self._num_updates,
             wall_seconds=wall_seconds,
-            engine_seconds=engine_seconds,
-            trace_seconds=last_time,
+            engine_seconds=self._engine_seconds,
+            trace_seconds=self._last_time,
             latency_percentiles=percentiles,
-            mean_batch_size=num_served / num_batches if num_batches else 0.0,
+            mean_batch_size=self._num_served / self._num_batches
+            if self._num_batches else 0.0,
             cache_hits=cache["hits"],
             cache_lookups=cache["lookups"],
             cache_evictions=cache["evictions"],
@@ -430,12 +544,13 @@ class ClassificationService:
             swap_stalls=stalls,
             swap_stall_seconds=stall_seconds,
             per_tenant=per_tenant,
-            batches=recorded if self.record_batches else None,
-            latencies=np.asarray(latencies, dtype=float)
-            if self.record_latencies else None,
+            batches=self._recorded if self.service.record_batches else None,
+            latencies=np.asarray(self._latencies, dtype=float)
+            if self.service.record_latencies else None,
             retrains_triggered=retrain_stats.triggered if retrain_stats else 0,
             retrains_installed=retrain_stats.installed if retrain_stats else 0,
             retrains_discarded=retrain_stats.discarded if retrain_stats else 0,
+            retrains_rejected=retrain_stats.rejected if retrain_stats else 0,
             ingest_offered=admission.offered if admission else 0,
             ingest_admitted=admission.admitted if admission else 0,
             ingest_throttled=admission.throttled if admission else 0,
@@ -444,7 +559,7 @@ class ClassificationService:
             # shared instance (builder threads and later serve() runs keep
             # writing into it), and the drains above are the one point
             # where no background writer is in flight.
-            metrics=metrics.snapshot(),
+            metrics=self.registry.metrics.snapshot(),
             swap_stats=self.registry.swap_stats(),
             retrain_stats=retrain_stats,
         )

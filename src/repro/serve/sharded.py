@@ -25,6 +25,7 @@ small machines.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 import warnings
 from dataclasses import dataclass, field, replace
@@ -33,19 +34,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.executors import EXECUTOR_BACKENDS, make_executor
-from repro.ingest.admission import IngestConfig
+from repro.ingest.admission import AdmissionController, IngestConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.rules.ruleset import RuleSet
 from repro.serve.batcher import BatchPolicy, Request
 from repro.serve.controller import RetrainController, RetrainPolicy, \
     RetrainStats
 from repro.serve.engines import DEFAULT_RETRAIN_THRESHOLD, SwapStats
+from repro.serve.rebalance import DEFAULT_REBALANCE_INTERVAL, \
+    RebalancePolicy, TelemetrySnapshot
 from repro.serve.registry import TenantRegistry
 from repro.serve.service import (
     LATENCY_PERCENTILES,
     ClassificationService,
     RuleUpdate,
     ServingReport,
+    ServingSession,
 )
 
 #: Executor backends serving shards may run on (one source of truth:
@@ -270,6 +274,9 @@ def merge_reports(outcomes: Sequence[ShardOutcome],
         retrains_triggered=sum(r.retrains_triggered for r in reports),
         retrains_installed=sum(r.retrains_installed for r in reports),
         retrains_discarded=sum(r.retrains_discarded for r in reports),
+        retrains_rejected=sum(r.retrains_rejected for r in reports),
+        migrations=sum(r.migrations for r in reports),
+        rebalance_plans=sum(r.rebalance_plans for r in reports),
         ingest_offered=sum(r.ingest_offered for r in reports),
         ingest_admitted=sum(r.ingest_admitted for r in reports),
         ingest_throttled=sum(r.ingest_throttled for r in reports),
@@ -296,6 +303,8 @@ def serve_sharded(
     retrain_policy: Optional[RetrainPolicy] = None,
     engine_backend: str = "numpy",
     ingest: Optional[IngestConfig] = None,
+    rebalance_policy: Optional[RebalancePolicy] = None,
+    rebalance_interval: float = DEFAULT_REBALANCE_INTERVAL,
 ) -> Tuple[List[ShardOutcome], ServingReport, ShardPlan]:
     """Serve a multi-tenant workload sharded across ``num_workers`` workers.
 
@@ -309,10 +318,33 @@ def serve_sharded(
     ``retrain_policy.backend`` — pool workers are daemonic and cannot spawn
     nested process pools (``serve_shard`` downgrades with a
     ``RuntimeWarning``).
+
+    Passing ``rebalance_policy`` switches to the *rebalancing* front-end:
+    the shards become logical serving stacks driven event-by-event in this
+    process, the policy is evaluated every ``rebalance_interval`` trace
+    seconds on live telemetry, and planned tenants are live-migrated
+    between shards mid-run (see :func:`serve_rebalancing`).  ``backend``
+    is ignored in that mode.
     """
     if backend not in SERVING_BACKENDS:
         raise ValueError(
             f"backend must be one of {SERVING_BACKENDS}, got {backend!r}"
+        )
+    if rebalance_policy is not None:
+        return serve_rebalancing(
+            tenants, rulesets, requests, updates,
+            num_workers=num_workers,
+            max_batch=max_batch,
+            max_delay=max_delay,
+            flow_cache_size=flow_cache_size,
+            background_swaps=background_swaps,
+            record_batches=record_batches,
+            retrain_threshold=retrain_threshold,
+            retrain_policy=retrain_policy,
+            engine_backend=engine_backend,
+            ingest=ingest,
+            policy=rebalance_policy,
+            interval=rebalance_interval,
         )
     plan = shard_tenants([t.tenant_id for t in tenants], num_workers)
     by_tenant = {t.tenant_id: t for t in tenants}
@@ -346,3 +378,286 @@ def serve_sharded(
     wall = time.perf_counter() - started
     outcomes.sort(key=lambda o: o.shard_index)
     return outcomes, merge_reports(outcomes, wall), plan
+
+
+# --------------------------------------------------------------------------- #
+# The rebalancing front-end (live tenant migration)
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class _ShardStack:
+    """One logical shard in the rebalancing front-end.
+
+    A full serving stack (registry, optional retrain controller, service,
+    streaming session), driven event-by-event by the front-end instead of
+    executing a pre-routed request list.  All stacks live in the front-end
+    process: migration needs the source and target on both ends of the
+    same trace-clock instant, which a process boundary cannot give us —
+    the :class:`~repro.serve.engines.SlotState` still goes through a
+    pickle round-trip so the shipped state is proven process-portable.
+    """
+
+    index: int
+    registry: TenantRegistry
+    controller: Optional[RetrainController]
+    service: ClassificationService
+    session: ServingSession
+    #: Tenants ever placed here (an emptied shard still reports outcomes).
+    ever_tenants: bool = False
+    #: Migrations that landed here (the import side of each move).
+    migrations_in: int = 0
+
+
+def _migrate_tenant(tenant_id: str, source: _ShardStack,
+                    target: _ShardStack) -> None:
+    """Drain -> ship -> install: move one quiesced tenant between stacks.
+
+    Caller guarantees the tenant's in-flight batch is drained
+    (``queue_depth == 0`` after a ``poll``).  Any in-flight retrain lands
+    (or is rejected) on the source first, then the slot state crosses a
+    real ``pickle`` round-trip — proving every migration this front-end
+    performs could equally cross a process boundary — and is installed on
+    the target through the same atomic compile-and-install path as tenant
+    registration.  Retrain launch counters ship along so the per-tenant
+    retrain seed sequence continues unbroken.
+    """
+    launch_count = 0
+    if source.controller is not None:
+        source.controller.drain_tenant(tenant_id)
+        launch_count = source.controller.export_tenant(tenant_id)
+    state = source.registry.export_slot(tenant_id)
+    state = pickle.loads(pickle.dumps(state))
+    target.registry.import_slot(state)
+    if target.controller is not None:
+        target.controller.import_tenant(tenant_id, launch_count)
+    target.ever_tenants = True
+    target.migrations_in += 1
+
+
+def serve_rebalancing(
+    tenants: Sequence[ShardTenant],
+    rulesets: Dict[str, RuleSet],
+    requests: Sequence[Request],
+    updates: Sequence[RuleUpdate] = (),
+    num_workers: int = 2,
+    max_batch: int = 64,
+    max_delay: float = 1e-3,
+    flow_cache_size: Optional[int] = 2048,
+    background_swaps: bool = True,
+    record_batches: bool = False,
+    retrain_threshold: int = DEFAULT_RETRAIN_THRESHOLD,
+    retrain_policy: Optional[RetrainPolicy] = None,
+    engine_backend: str = "numpy",
+    ingest: Optional[IngestConfig] = None,
+    policy: Optional[RebalancePolicy] = None,
+    interval: float = DEFAULT_REBALANCE_INTERVAL,
+) -> Tuple[List[ShardOutcome], ServingReport, ShardPlan]:
+    """Serve with live load-aware tenant migration between logical shards.
+
+    The rebalancing counterpart of :func:`serve_sharded`: tenants start on
+    the same round-robin plan, but the front-end drives one streaming
+    :class:`~repro.serve.service.ServingSession` per shard on a single
+    trace clock and re-places tenants mid-run:
+
+    1. **Plan** — the first event at or past each interval boundary
+       triggers a policy evaluation (the ``k``-th evaluation sees
+       ``snapshot.interval == k``) on a frozen
+       :class:`~repro.serve.rebalance.TelemetrySnapshot` of live per-shard
+       telemetry.  Planned moves become *pending* migrations.
+    2. **Drain** — a pending tenant migrates at its next event, once a
+       ``poll`` at that event's trace time shows its in-flight batch has
+       drained (``queue_depth == 0``).  Waiting for this natural batch
+       boundary — rather than force-flushing — keeps batch composition
+       identical to a static placement of the same trace, which is what
+       the differential tests pin down.
+    3. **Ship + install** — the slot state (trees, epoch history, pending
+       update counters, flow cache) crosses a pickle round-trip and is
+       installed on the target shard via the same double-buffered swap
+       path as registration; every later packet of the tenant is still
+       classified against its epoch's ruleset, so ``verify_exactness``
+       holds straight through the migration boundary.
+
+    Updates are delivered by the front-end on the global event order
+    (exactly the single-process semantics), and admission control — when
+    ``ingest`` is given — runs once in the front-end over the full stream,
+    which per-tenant state makes equivalent to single-process admission.
+
+    Returns ``(outcomes, merged_report, plan)`` like :func:`serve_sharded`;
+    ``merged_report.migrations`` / ``merged_report.rebalance_plans`` count
+    the moves executed and the policy evaluations run.
+    """
+    if policy is None:
+        raise ValueError("serve_rebalancing needs a rebalance policy")
+    if interval <= 0:
+        raise ValueError("rebalance_interval must be > 0")
+    started = time.perf_counter()
+    plan = shard_tenants([t.tenant_id for t in tenants], num_workers)
+    by_tenant = {t.tenant_id: t for t in tenants}
+    placement: Dict[str, int] = {
+        tenant_id: index
+        for index, assigned in enumerate(plan.assignments)
+        for tenant_id in assigned
+    }
+
+    stacks: List[_ShardStack] = []
+    for index in range(num_workers):
+        registry = TenantRegistry(
+            default_flow_cache_size=flow_cache_size,
+            background_swaps=background_swaps,
+            default_retrain_threshold=retrain_threshold,
+            engine_backend=engine_backend,
+        )
+        controller = RetrainController(registry, retrain_policy) \
+            if retrain_policy is not None else None
+        service = ClassificationService(
+            registry,
+            BatchPolicy(max_batch=max_batch, max_delay=max_delay),
+            record_batches=record_batches,
+            record_latencies=True,
+            retrain_controller=controller,
+        )
+        stacks.append(_ShardStack(
+            index=index,
+            registry=registry,
+            controller=controller,
+            service=service,
+            session=service.session(),
+        ))
+    for index, assigned in enumerate(plan.assignments):
+        for tenant_id in assigned:
+            tenant = by_tenant[tenant_id]
+            stacks[index].registry.register(
+                tenant_id, rulesets[tenant_id],
+                algorithm=tenant.algorithm, binth=tenant.binth,
+            )
+            stacks[index].ever_tenants = True
+
+    # Admission runs once, up front, over the whole stream — its state is
+    # per-tenant, so this is exactly the single-process decision sequence,
+    # and the serving stacks below see the post-admission stream.
+    admission: Optional[AdmissionController] = None
+    frontend_metrics: Optional[MetricsRegistry] = None
+    requests = sorted(requests, key=lambda r: r.time)
+    if ingest is not None:
+        frontend_metrics = MetricsRegistry()
+        admission = AdmissionController(ingest, metrics=frontend_metrics)
+        requests = admission.admit(requests)
+
+    pending_updates = sorted(updates, key=lambda u: u.time)
+    update_index = 0
+    next_boundary = interval
+    num_plans = 0
+    #: tenant -> target shard, decided by a plan, awaiting a drained queue.
+    pending_moves: Dict[str, int] = {}
+
+    def evaluate(now: float) -> None:
+        """Run one policy evaluation if ``now`` crossed a boundary."""
+        nonlocal next_boundary, num_plans
+        if now < next_boundary:
+            return
+        # Collapse skipped boundaries: one evaluation per *event* that
+        # crosses, then re-arm at the next boundary past ``now`` — gaps in
+        # the trace don't spin the planner on identical telemetry.
+        next_boundary = interval * (int(now / interval) + 1)
+        num_plans += 1
+        snapshot = TelemetrySnapshot.capture(
+            interval=num_plans,
+            time=now,
+            placements=placement,
+            registries=[stack.registry.metrics for stack in stacks],
+            queue_depths={
+                tenant_id: stacks[index].session.queue_depth(tenant_id)
+                for tenant_id, index in placement.items()
+            },
+            goodput={
+                tenant_id: summary["goodput_pps"]
+                for tenant_id, summary in
+                admission.tenant_summary(now).items()
+            } if admission is not None else None,
+        )
+        for move in policy.plan(snapshot).migrations:
+            if placement.get(move.tenant_id) == move.source_shard \
+                    and 0 <= move.target_shard < len(stacks):
+                pending_moves[move.tenant_id] = move.target_shard
+
+    def settle(tenant_id: str, now: float) -> None:
+        """Execute a pending migration once the tenant's queue is drained."""
+        target_index = pending_moves.get(tenant_id)
+        if target_index is None:
+            return
+        source_index = placement[tenant_id]
+        if source_index == target_index:
+            del pending_moves[tenant_id]
+            return
+        source = stacks[source_index]
+        source.session.poll(now)
+        if source.session.queue_depth(tenant_id) > 0:
+            return  # not a batch boundary yet; retry at the next event
+        _migrate_tenant(tenant_id, source, stacks[target_index])
+        placement[tenant_id] = target_index
+        del pending_moves[tenant_id]
+
+    def deliver(update: RuleUpdate) -> None:
+        evaluate(update.time)
+        settle(update.tenant_id, update.time)
+        stacks[placement[update.tenant_id]].session.deliver_update(update)
+
+    for request in requests:
+        # Global event order, exactly like the single-process loop: every
+        # update scheduled at or before this arrival applies first.
+        while update_index < len(pending_updates) and \
+                pending_updates[update_index].time <= request.time:
+            deliver(pending_updates[update_index])
+            update_index += 1
+        evaluate(request.time)
+        settle(request.tenant_id, request.time)
+        stacks[placement[request.tenant_id]].session.offer(request)
+    for update in pending_updates[update_index:]:
+        deliver(update)
+
+    reports: List[ServingReport] = []
+    for stack in stacks:
+        report = stack.session.finish()
+        report.migrations = stack.migrations_in
+        reports.append(report)
+        if stack.controller is not None:
+            stack.controller.close()
+
+    outcomes: List[ShardOutcome] = []
+    for stack, report in zip(stacks, reports):
+        if not stack.ever_tenants and not report.num_requests:
+            continue
+        epoch_rulesets = {}
+        for tenant_id in stack.registry.tenants():
+            slot = stack.registry.slot(tenant_id)
+            epoch_rulesets[tenant_id] = [
+                slot.ruleset_at(epoch) for epoch in range(slot.epoch + 1)
+            ]
+        outcomes.append(ShardOutcome(
+            shard_index=stack.index,
+            tenant_ids=stack.registry.tenants(),
+            report=report,
+            epoch_rulesets=epoch_rulesets,
+            wall_seconds=report.wall_seconds,
+        ))
+
+    wall = time.perf_counter() - started
+    merged = merge_reports(outcomes, wall)
+    merged.rebalance_plans = num_plans
+    if admission is not None:
+        # The frontend owns admission in this mode; fold its counters and
+        # per-tenant summaries into the merged report the same way a
+        # single-process serve() does.
+        merged.ingest_offered = admission.offered
+        merged.ingest_admitted = admission.admitted
+        merged.ingest_throttled = admission.throttled
+        merged.ingest_shed = admission.shed
+        last_time = max((s.session.last_time for s in stacks), default=0.0)
+        for tenant_id, summary in \
+                admission.tenant_summary(last_time).items():
+            merged.per_tenant.setdefault(tenant_id, {})["ingest"] = summary
+        if merged.metrics is not None and frontend_metrics is not None:
+            merged.metrics = MetricsRegistry.merged(
+                [merged.metrics, frontend_metrics.snapshot()]
+            )
+    return outcomes, merged, plan

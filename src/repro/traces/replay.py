@@ -25,6 +25,7 @@ import numpy as np
 from repro.exceptions import TraceError
 from repro.ingest.admission import IngestConfig
 from repro.serve.controller import RetrainPolicy
+from repro.serve.rebalance import DEFAULT_REBALANCE_INTERVAL, RebalancePolicy
 from repro.serve.service import ServingReport
 from repro.traces.format import ServingTrace
 from repro.traces.io import read_trace
@@ -175,6 +176,8 @@ def replay_trace(
     serving_workers: int = 1,
     serving_backend: str = "process",
     ingest: Optional[IngestConfig] = None,
+    rebalance_policy: Optional["RebalancePolicy"] = None,
+    rebalance_interval: float = DEFAULT_REBALANCE_INTERVAL,
     bench_path: Optional[Union[str, Path]] = None,
 ) -> ReplayOutcome:
     """Serve a recorded trace through the full stack and (optionally) verify.
@@ -191,6 +194,11 @@ def replay_trace(
     were already admitted when recorded and the trace clock is
     authoritative (docs/traces.md, docs/ingest.md), so golden traces stay
     bit-exact and the ``ingest_*`` counters report zero.
+
+    ``rebalance_policy`` (with ``serving_workers > 1``) replays through
+    the rebalancing front-end with live mid-trace tenant migrations;
+    decisions still verify exactly because they depend only on
+    (packet, epoch ruleset), not on placement.
 
     ``bench_path`` additionally writes the run as a ``BENCH_replay.json``
     scorecard (see :mod:`repro.obs.bench`).
@@ -213,6 +221,8 @@ def replay_trace(
         serving_workers=serving_workers,
         serving_backend=serving_backend,
         ingest=ingest,
+        rebalance_policy=rebalance_policy,
+        rebalance_interval=rebalance_interval,
     )
     report = verify_replay(trace, result.report) if verify else None
     outcome = ReplayOutcome(trace=trace, result=result, report=report)

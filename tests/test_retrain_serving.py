@@ -184,8 +184,11 @@ class TestRetrainController:
     def test_serial_backend_full_cycle(self, small_ruleset):
         registry = self._registry(small_ruleset)
         slot = registry.slot("t0")
+        # quality_gate=False: this test exercises the adoption *mechanics*
+        # (launch -> install -> counter reset), not the gate's verdict on
+        # a short-budget retrain.  The gate has its own tests below.
         policy = RetrainPolicy(timesteps=300, max_iterations=1,
-                               backend="serial")
+                               backend="serial", quality_gate=False)
         with RetrainController(registry, policy) as controller:
             for rule in _fresh_rules(small_ruleset, 3, tag="cycle"):
                 registry.apply_update("t0", adds=[rule])
@@ -205,7 +208,7 @@ class TestRetrainController:
         registry = self._registry(small_ruleset)
         slot = registry.slot("t0")
         policy = RetrainPolicy(timesteps=300, max_iterations=1,
-                               backend="thread")
+                               backend="thread", quality_gate=False)
         with RetrainController(registry, policy) as controller:
             for rule in _fresh_rules(small_ruleset, 3, tag="bg"):
                 registry.apply_update("t0", adds=[rule])
@@ -243,6 +246,163 @@ class TestRetrainController:
             controller.poll_tenant("t0")
             assert controller.stats.triggered == 1
             controller.drain()
+
+
+class TestRetrainQualityGate:
+    """A retrained tree is only adopted when it *strictly beats* the
+    incrementally-patched incumbent under the paper's time/space objective.
+
+    The objective function is monkeypatched with a scripted sequence so
+    each verdict edge (beat / tie / lose) is exercised deterministically —
+    ``_install`` scores the candidate first, then the incumbent.
+    """
+
+    @staticmethod
+    def _scripted_objective(*values):
+        scores = iter(values)
+        return lambda stats, coeff: next(scores)
+
+    def _gated_cycle(self, ruleset, monkeypatch, candidate_score,
+                     incumbent_score):
+        import repro.serve.controller as controller_module
+
+        monkeypatch.setattr(
+            controller_module, "classifier_objective",
+            self._scripted_objective(candidate_score, incumbent_score))
+        registry = TenantRegistry(background_swaps=False,
+                                  default_retrain_threshold=3)
+        slot = registry.register("t0", ruleset)
+        policy = RetrainPolicy(timesteps=300, max_iterations=1,
+                               backend="serial")
+        controller = RetrainController(registry, policy)
+        for rule in _fresh_rules(ruleset, 3, tag="gate"):
+            registry.apply_update("t0", adds=[rule])
+        landed = controller.poll_tenant("t0")
+        controller.close()
+        return registry, slot, controller, landed
+
+    def test_strictly_better_candidate_is_adopted(self, small_ruleset,
+                                                  monkeypatch):
+        registry, slot, controller, landed = self._gated_cycle(
+            small_ruleset, monkeypatch,
+            candidate_score=0.5, incumbent_score=1.0)
+        assert landed is True
+        assert controller.stats.installed == 1
+        assert controller.stats.rejected == 0
+        # 3 update swaps + 1 adoption swap.
+        assert slot.swap_stats.swaps == 4
+        assert registry.metrics.counter("serve.retrains_rejected").value == 0
+
+    def test_tie_is_rejected(self, small_ruleset, monkeypatch):
+        """A tie means the retrain bought nothing: keep the incumbent."""
+        registry, slot, controller, landed = self._gated_cycle(
+            small_ruleset, monkeypatch,
+            candidate_score=1.0, incumbent_score=1.0)
+        assert landed is False
+        assert controller.stats.installed == 0
+        assert controller.stats.rejected == 1
+        # No adoption swap: only the 3 update swaps happened.
+        assert slot.swap_stats.swaps == 3
+        assert registry.metrics.counter("serve.retrains_rejected").value == 1
+
+    def test_worse_candidate_is_rejected_and_incumbent_serves(
+            self, small_ruleset, monkeypatch):
+        registry, slot, controller, landed = self._gated_cycle(
+            small_ruleset, monkeypatch,
+            candidate_score=2.0, incumbent_score=1.0)
+        assert landed is False
+        assert controller.stats.rejected == 1
+        epoch = slot.epoch
+        # The incumbent still answers exactly for its latest ruleset.
+        post = slot.ruleset_at(epoch)
+        for packet in post.sample_packets(100, seed=13):
+            expected = post.classify(packet)
+            actual = slot.engine().classify(packet)
+            assert (actual.priority if actual else None) == \
+                (expected.priority if expected else None)
+
+    def test_rejection_resets_drift_and_does_not_relaunch(self,
+                                                          small_ruleset,
+                                                          monkeypatch):
+        """note_retrain_rejected() spends the trigger evidence: the very
+        next poll must not relaunch against the refuted counters."""
+        registry, slot, controller, landed = self._gated_cycle(
+            small_ruleset, monkeypatch,
+            candidate_score=2.0, incumbent_score=1.0)
+        assert landed is False
+        assert not slot.needs_retraining()
+        assert slot.updates_since_adoption == 0
+        assert controller.poll_tenant("t0") is False
+        assert controller.stats.triggered == 1
+        # Fresh drift re-arms the loop as usual.
+        for rule in _fresh_rules(small_ruleset, 3, tag="rearm"):
+            registry.apply_update("t0", adds=[rule])
+        assert slot.needs_retraining()
+
+    def test_objective_matches_cost_model(self, small_ruleset):
+        from repro.serve.controller import classifier_objective
+
+        classifier = HiCutsBuilder(binth=8).build(small_ruleset)
+        stats = classifier.stats()
+        assert classifier_objective(stats, 1.0) == \
+            pytest.approx(stats.classification_time)
+        assert classifier_objective(stats, 0.0) == \
+            pytest.approx(stats.bytes_per_rule)
+        assert classifier_objective(stats, 0.5) == pytest.approx(
+            0.5 * stats.classification_time + 0.5 * stats.bytes_per_rule)
+
+    def test_serve_report_swap_invariant_after_rejection(self, monkeypatch):
+        """End to end: every rejection is counted, nothing swaps for it,
+        and ``swaps == num_updates + retrains_installed`` still holds."""
+        import repro.serve.controller as controller_module
+
+        calls = {"n": 0}
+
+        def losing_objective(stats, coeff):
+            # Candidate scored first (odd calls) always loses.
+            calls["n"] += 1
+            return 2.0 if calls["n"] % 2 == 1 else 1.0
+
+        monkeypatch.setattr(controller_module, "classifier_objective",
+                            losing_objective)
+        threshold = 4
+        specs = make_tenant_specs(1, families=("acl1",), num_rules=40,
+                                  seed=8)
+        churn = ChurnConfig.forcing_retrain(threshold, num_tenants=1,
+                                            adds_per_event=2,
+                                            removes_per_event=0)
+        workload = build_workload(
+            specs, FlowTraceConfig(num_packets=1200, num_flows=100, seed=8),
+            churn=churn,
+        )
+        registry = TenantRegistry(background_swaps=False,
+                                  default_retrain_threshold=threshold)
+        registry.register(specs[0].tenant_id,
+                          workload.rulesets[specs[0].tenant_id])
+        controller = RetrainController(
+            registry,
+            RetrainPolicy(timesteps=300, max_iterations=1, backend="serial"),
+        )
+        service = ClassificationService(
+            registry, BatchPolicy(max_batch=32), record_batches=True,
+            retrain_controller=controller,
+        )
+        report = service.serve(workload.requests, updates=workload.updates)
+        controller.close()
+        assert report.retrains_triggered >= 1
+        assert report.retrains_rejected == report.retrains_triggered
+        assert report.retrains_installed == 0
+        assert report.swaps == report.num_updates + report.retrains_installed
+        # Decisions stay exact: the incumbent kept serving every epoch.
+        slot = registry.slot(specs[0].tenant_id)
+        mismatches = 0
+        for batch in report.batches:
+            ruleset = slot.ruleset_at(batch.epoch)
+            for request, priority in zip(batch.requests, batch.priorities):
+                expected = ruleset.classify(request.packet)
+                if (expected.priority if expected else None) != priority:
+                    mismatches += 1
+        assert mismatches == 0
 
 
 class TestForcingRetrainChurn:
@@ -438,7 +598,8 @@ class TestServiceRetrainIntegration:
                           workload.rulesets[specs[0].tenant_id])
         controller = RetrainController(
             registry,
-            RetrainPolicy(timesteps=300, max_iterations=1, backend="serial"),
+            RetrainPolicy(timesteps=300, max_iterations=1, backend="serial",
+                          quality_gate=False),
         )
         service = ClassificationService(
             registry, BatchPolicy(max_batch=32), record_batches=True,
@@ -448,6 +609,7 @@ class TestServiceRetrainIntegration:
         controller.close()
         assert report.retrains_triggered >= 1
         assert report.retrains_installed == report.retrains_triggered
+        assert report.retrains_rejected == 0
         assert report.num_requests == len(workload.requests)
         # Exactness across the retrain adoption.
         slot = registry.slot(specs[0].tenant_id)

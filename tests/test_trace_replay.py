@@ -63,14 +63,41 @@ class TestGoldenReplay:
         assert outcome.result.num_shards == 2
 
     def test_replay_across_forced_retrain(self, retrain_trace):
-        """Decisions stay golden even when the replay retrains mid-trace."""
+        """Decisions stay golden even when the replay retrains mid-trace.
+
+        The quality gate is disabled so the tiny-budget retrain is adopted
+        unconditionally — the point here is exactness across the adoption
+        swap, not whether a 250-timestep tree beats the incumbent.
+        """
+        policy = RetrainPolicy(timesteps=250, max_iterations=1,
+                               backend="serial", quality_gate=False,
+                               seed=retrain_trace.seed)
+        outcome = replay_trace(retrain_trace, retrain_threshold=12,
+                               retrain_policy=policy)
+        report = outcome.report
+        assert report.is_exact, f"mismatches: {report.mismatches}"
+        assert report.counters["retrains_installed"] >= 1
+        assert report.counters["retrains_rejected"] == 0
+
+    def test_replay_retrain_quality_gate_keeps_decisions_golden(
+            self, retrain_trace):
+        """With the gate armed a losing retrain is rejected, not adopted —
+        and the replay still verifies exactly (no swap, no divergence)."""
         policy = RetrainPolicy(timesteps=250, max_iterations=1,
                                backend="serial", seed=retrain_trace.seed)
         outcome = replay_trace(retrain_trace, retrain_threshold=12,
                                retrain_policy=policy)
         report = outcome.report
         assert report.is_exact, f"mismatches: {report.mismatches}"
-        assert report.counters["retrains_installed"] >= 1
+        counters = report.counters
+        assert counters["retrains_triggered"] >= 1
+        assert counters["retrains_installed"] \
+            + counters["retrains_rejected"] \
+            + counters["retrains_discarded"] == counters["retrains_triggered"]
+        # Rejected retrains must not swap: each rule update swaps once and
+        # each *installed* retrain swaps once, nothing else.
+        assert counters["swaps"] == counters["num_updates"] \
+            + counters["retrains_installed"]
 
     def test_replay_is_deterministic_across_runs(self, churn_trace):
         """Acceptance gate: two replays agree on every telemetry counter."""
