@@ -98,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--workers", type=int, default=1,
                        help="rollout workers collecting experience shards in "
                             "parallel (1 = serial collection)")
+    train.add_argument("--async-collection", action="store_true",
+                       help="pipeline rollout collection against the PPO "
+                            "update (workers roll on a snapshot at most one "
+                            "weight generation stale)")
 
     classify = subparsers.add_parser(
         "classify", help="classify sampled packets against a saved tree"
@@ -181,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=EXECUTOR_BACKENDS,
                        help="where retrain jobs run (thread overlaps "
                             "serving; serial is deterministic/inline)")
+    serve.add_argument("--retrain-pool-size", type=int, default=0,
+                       metavar="N",
+                       help="multiplex all tenants' retrains over one "
+                            "shared N-worker pool with per-tenant "
+                            "round-robin fairness (0 = one executor per "
+                            "controller)")
     serve.add_argument("--serving-workers", type=int, default=1,
                        metavar="N",
                        help="shard tenants across N serving workers "
@@ -297,6 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=EXECUTOR_BACKENDS,
                         help="where replay retrains run (serial keeps the "
                              "replay deterministic)")
+    replay.add_argument("--retrain-pool-size", type=int, default=0,
+                        metavar="N",
+                        help="multiplex replay retrains over one shared "
+                             "N-worker pool (0 = one executor per "
+                             "controller)")
     replay.add_argument("--serving-workers", type=int, default=1,
                         metavar="N",
                         help="shard the trace's tenants across N serving "
@@ -419,6 +434,7 @@ def _training_config(args: argparse.Namespace) -> NeuroCutsConfig:
         leaf_threshold=getattr(args, "leaf_threshold", 16),
         seed=getattr(args, "seed", 0),
         num_rollout_workers=getattr(args, "workers", 1),
+        async_collection=getattr(args, "async_collection", False),
     )
 
 
@@ -586,6 +602,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.retrain_threshold < 0:
         print("error: --retrain-threshold must be >= 0", file=sys.stderr)
         return 2
+    if args.retrain_pool_size < 0:
+        print("error: --retrain-pool-size must be >= 0", file=sys.stderr)
+        return 2
     if args.rebalance_policy != "none" and args.serving_workers < 2:
         print("error: --rebalance-policy needs --serving-workers >= 2",
               file=sys.stderr)
@@ -605,7 +624,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
         retrain_policy = RetrainPolicy(timesteps=args.retrain_timesteps,
                                        backend=args.retrain_backend,
-                                       seed=args.seed)
+                                       seed=args.seed,
+                                       shared_pool_size=args.retrain_pool_size
+                                       if args.retrain_pool_size > 0 else None)
     ingest = None
     flash_crowd = None
     try:
@@ -796,6 +817,9 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     if args.retrain_threshold < 0:
         print("error: --retrain-threshold must be >= 0", file=sys.stderr)
         return 2
+    if args.retrain_pool_size < 0:
+        print("error: --retrain-pool-size must be >= 0", file=sys.stderr)
+        return 2
     if args.rebalance_policy != "none" and args.serving_workers < 2:
         print("error: --rebalance-policy needs --serving-workers >= 2",
               file=sys.stderr)
@@ -825,9 +849,12 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
         trace = read_trace(args.trace)
         retrain_policy = None
         if args.retrain_threshold > 0:
-            retrain_policy = RetrainPolicy(timesteps=args.retrain_timesteps,
-                                           backend=args.retrain_backend,
-                                           seed=trace.seed)
+            retrain_policy = RetrainPolicy(
+                timesteps=args.retrain_timesteps,
+                backend=args.retrain_backend,
+                seed=trace.seed,
+                shared_pool_size=args.retrain_pool_size
+                if args.retrain_pool_size > 0 else None)
         outcome = replay_trace(
             trace,
             verify=True,

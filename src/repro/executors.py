@@ -38,8 +38,10 @@ import atexit
 import multiprocessing
 import multiprocessing.dummy
 import multiprocessing.pool
-from typing import Callable, Dict, Generic, List, Optional, Sequence, Tuple, \
-    TypeVar
+import threading
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, Generic, List, Optional, Sequence, \
+    Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -308,6 +310,216 @@ def make_executor(num_workers: int,
                               initargs=initargs)
     return ProcessPoolExecutor(num_workers, initializer=initializer,
                                initargs=initargs)
+
+
+# --------------------------------------------------------------------------- #
+# RetrainPool: many submitters multiplexed over one executor, fairly
+# --------------------------------------------------------------------------- #
+
+
+class _PooledTask(TaskHandle[R]):
+    """A task queued in (or dispatched by) a :class:`RetrainPool`.
+
+    Until the pool grants it a slot the task has no underlying handle; the
+    pool's pump transitions it queued -> running -> done.  ``ready()`` and
+    ``result()`` drive the pump, so a caller polling any pooled handle also
+    advances everyone else's queue — no dedicated dispatcher thread.
+    """
+
+    __slots__ = ("key", "func", "item", "handle", "done", "_value", "_error",
+                 "_pool")
+
+    def __init__(self, pool: "RetrainPool", key: str,
+                 func: Callable[[T], R], item: T) -> None:
+        self._pool = pool
+        self.key = key
+        self.func = func
+        self.item = item
+        self.handle: Optional[TaskHandle[R]] = None
+        self.done = False
+        self._value: Optional[R] = None
+        self._error: Optional[BaseException] = None
+
+    def _finish(self) -> None:
+        """Capture the underlying handle's outcome (handle must be ready)."""
+        assert self.handle is not None
+        try:
+            self._value = self.handle.result()
+        except BaseException as error:  # noqa: BLE001 - uniform surface
+            self._error = error
+        self.handle = None
+        self.done = True
+
+    def ready(self) -> bool:
+        self._pool._pump()
+        return self.done
+
+    def result(self) -> R:
+        self._pool._wait(self)
+        if self._error is not None:
+            raise self._error
+        return self._value  # type: ignore[return-value]
+
+
+class RetrainPool:
+    """Multiplexes many submitters' tasks over one shared executor, fairly.
+
+    Every :class:`~repro.serve.controller.RetrainController` — across all
+    tenants, and across shards within a process — submits here instead of
+    owning a private executor.  Tasks are keyed (by tenant) and dispatched
+    round-robin across keys whenever an executor slot frees up, so one noisy
+    tenant cannot starve the rest; tasks of the *same* key run in FIFO order.
+
+    The pool is pumped cooperatively from ``ready()``/``result()`` calls on
+    its handles — there is no background dispatcher thread, which keeps
+    serial-backend pools (capacity 1, tasks run inline at dispatch) exactly
+    as deterministic as a private :class:`SerialExecutor`.
+    """
+
+    def __init__(self, executor: RolloutExecutor) -> None:
+        self._executor = executor
+        self._capacity = max(1, int(executor.num_workers))
+        self._queues: "OrderedDict[str, Deque[_PooledTask]]" = OrderedDict()
+        self._running: List[_PooledTask] = []
+        self._lock = threading.RLock()
+        #: Total tasks ever submitted through the pool (monotonic).
+        self.submitted = 0
+
+    @property
+    def executor(self) -> RolloutExecutor:
+        """The shared underlying executor (for reuse assertions/tests)."""
+        return self._executor
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def queue_depth(self) -> int:
+        """Tasks waiting for a slot (excludes running tasks)."""
+        with self._lock:
+            return sum(len(q) for q in self._queues.values())
+
+    def submit(self, key: str, func: Callable[[T], R],
+               item: T) -> TaskHandle[R]:
+        """Enqueue one task under ``key`` and return its handle."""
+        task = _PooledTask(self, key, func, item)
+        with self._lock:
+            self.submitted += 1
+            queue = self._queues.get(key)
+            if queue is None:
+                queue = self._queues[key] = deque()
+            queue.append(task)
+            self._dispatch_ready()
+        return task
+
+    # ------------------------------------------------------------------ #
+    # Pump: land finished tasks, grant freed slots round-robin
+    # ------------------------------------------------------------------ #
+
+    def _dispatch_ready(self) -> None:
+        """Fill free slots from the queues, round-robin across keys.
+
+        Caller holds the lock.  The serial executor runs the task inline
+        here, so its slot frees immediately and the loop continues until
+        the queues drain — preserving serial determinism.
+        """
+        while len(self._running) < self._capacity and self._queues:
+            key, queue = next(iter(self._queues.items()))
+            task = queue.popleft()
+            # Rotate the key to the back (or drop it when drained) *before*
+            # running the task: inline serial tasks re-enter the loop.
+            del self._queues[key]
+            if queue:
+                self._queues[key] = queue
+            task.handle = self._executor.submit(task.func, task.item)
+            if task.handle.ready():
+                task._finish()
+            else:
+                self._running.append(task)
+
+    def _pump(self) -> None:
+        with self._lock:
+            finished = [t for t in self._running if t.handle.ready()]
+            if finished:
+                for task in finished:
+                    task._finish()
+                self._running = [t for t in self._running if not t.done]
+            self._dispatch_ready()
+
+    def _wait(self, task: _PooledTask) -> None:
+        """Block until ``task`` is done, pumping the pool as tasks land."""
+        while True:
+            self._pump()
+            if task.done:
+                return
+            with self._lock:
+                # Block on the task itself once running, else on the oldest
+                # running task (its completion frees a slot and the pump
+                # advances the queues).
+                target = task if task.handle is not None else (
+                    self._running[0] if self._running else None)
+                handle = target.handle if target is not None else None
+            if handle is None:
+                continue  # dispatch raced us; re-pump
+            try:
+                handle.result()
+            except BaseException:  # noqa: BLE001 - landed via _finish later
+                pass
+
+
+# --------------------------------------------------------------------------- #
+# Shared retrain pools: one multiplexed pool per (backend, size) per process
+# --------------------------------------------------------------------------- #
+
+_SHARED_RETRAIN_POOLS: Dict[Tuple[str, int], RetrainPool] = {}
+
+
+def resolve_pool_backend(backend: str) -> str:
+    """Resolve a retrain-pool backend for the *current* process.
+
+    Daemonic pool workers (process-backend serving shards) cannot spawn
+    child processes, so a ``"process"`` retrain pool inside one silently
+    resolves to ``"thread"`` — by construction, not per-task warning.
+    """
+    if backend == "process" and multiprocessing.current_process().daemon:
+        return "thread"
+    return backend
+
+
+def shared_retrain_pool(num_workers: int,
+                        backend: str = "thread") -> RetrainPool:
+    """The process-local shared retrain pool for this width and backend.
+
+    All retrain controllers in a process that ask for the same
+    ``(backend, num_workers)`` get the *same* :class:`RetrainPool` (and thus
+    the same underlying executor) — the fleet-trainer contract that retrains
+    across tenants and shards multiplex over one pool instead of each
+    controller spawning its own.  Pools live until
+    :func:`shutdown_shared_retrain_pools` or interpreter exit.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    backend = resolve_pool_backend(backend)
+    if backend not in EXECUTOR_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {EXECUTOR_BACKENDS}, got {backend!r}"
+        )
+    key = (backend, int(num_workers))
+    pool = _SHARED_RETRAIN_POOLS.get(key)
+    if pool is None:
+        pool = RetrainPool(make_executor(num_workers, backend=backend))
+        _SHARED_RETRAIN_POOLS[key] = pool
+    return pool
+
+
+def shutdown_shared_retrain_pools() -> None:
+    """Shut down every shared retrain pool (recreated lazily if needed)."""
+    for pool in list(_SHARED_RETRAIN_POOLS.values()):
+        pool.executor.shutdown()
+    _SHARED_RETRAIN_POOLS.clear()
+
+
+atexit.register(shutdown_shared_retrain_pools)
 
 
 # --------------------------------------------------------------------------- #

@@ -540,6 +540,7 @@ def run_scaling(
     spec: Optional[ClassifierSpec] = None,
     neurocuts_config: Optional[NeuroCutsConfig] = None,
     bench_path: Optional[str] = None,
+    async_collection: bool = False,
 ) -> ScalingResult:
     """Figure 7: rollout-collection throughput vs parallel workers.
 
@@ -548,8 +549,14 @@ def run_scaling(
     width, sharded across the workers) through a persistent executor.  A
     warm-up round is collected first so pool start-up and initializer costs
     are excluded from the timed region, matching the paper's steady-state
-    rollouts/sec measurement.  No PPO updates run — the experiment isolates
-    the actor side that Figure 7 parallelises.
+    rollouts/sec measurement.
+
+    By default no PPO updates run — the experiment isolates the actor side
+    that Figure 7 parallelises (process pools still exercise the
+    shared-memory weight broadcast).  With ``async_collection=True`` the
+    timed region is ``rounds`` full training iterations through the
+    pipelined fleet trainer instead, so the measurement includes the learner
+    update that pipelining hides behind collection.
     """
     import time
 
@@ -560,16 +567,29 @@ def run_scaling(
     for workers in worker_counts:
         config = replace_config(base_config, num_rollout_workers=int(workers),
                                 max_timesteps_total=10 ** 9,
-                                convergence_patience=None)
+                                convergence_patience=None,
+                                async_collection=async_collection)
         with NeuroCutsTrainer(ruleset, config) as trainer:
             trainer.collect_batch()  # warm-up: spawn pool, build workers
             start = time.perf_counter()
             steps = rollouts = 0
-            for _ in range(rounds):
-                _, summaries = trainer.collect_batch()
-                steps += sum(s.num_steps for s in summaries)
-                rollouts += len(summaries)
-            elapsed = time.perf_counter() - start
+            if async_collection:
+                before = trainer.result().timesteps_total
+                result = trainer.train(max_iterations=rounds)
+                elapsed = time.perf_counter() - start
+                # History rows are cumulative; the drained prefetch round
+                # (collected inside the timed region but not trained on) is
+                # excluded from both counts, slightly understating
+                # throughput rather than ever overstating it.
+                if result.history:
+                    steps = result.history[-1].timesteps_total - before
+                    rollouts = sum(s.num_rollouts for s in result.history)
+            else:
+                for _ in range(rounds):
+                    _, summaries = trainer.collect_batch()
+                    steps += sum(s.num_steps for s in summaries)
+                    rollouts += len(summaries)
+                elapsed = time.perf_counter() - start
         points.append(
             ScalingPoint(
                 workers=int(workers),
@@ -596,6 +616,7 @@ def run_scaling(
             "classifier": spec.label,
             "worker_counts": [int(w) for w in worker_counts],
             "rounds": rounds,
+            "async_collection": bool(async_collection),
         }), bench_path)
     return result
 

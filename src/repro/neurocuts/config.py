@@ -57,6 +57,16 @@ class NeuroCutsConfig:
       scattered over.
     * ``rollout_backend`` — ``None`` (auto: serial for one worker, a
       persistent process pool otherwise), ``"serial"``, or ``"process"``.
+    * ``async_collection`` — when True, the trainer pipelines collection
+      against learning: the next round's rollout shards are submitted on
+      the *pre-update* weight snapshot before the PPO update runs, so
+      workers keep rolling while the learner learns.  Every trained batch
+      is at most ``max_weight_lag`` weight generations stale (explicitly
+      stamped and asserted).  When False (default) collection is fully
+      synchronous and histories are byte-identical to the classic path.
+    * ``max_weight_lag`` — the staleness bound of async collection; only
+      a lag of 1 (off-by-one snapshots, the paper's pipelined setup) or 0
+      (submit-after-update: async plumbing, no overlap) is supported.
     """
 
     time_space_coeff: float = 1.0
@@ -87,6 +97,11 @@ class NeuroCutsConfig:
     num_rollout_workers: int = 1
     #: Executor backend for rollout collection (None = auto).
     rollout_backend: Optional[str] = None
+    #: Pipeline collection against the PPO update (False = byte-identical
+    #: to the classic synchronous path).
+    async_collection: bool = False
+    #: Bounded staleness of async collection, in weight generations.
+    max_weight_lag: int = 1
 
     def __post_init__(self) -> None:
         self.validate()
@@ -130,6 +145,12 @@ class NeuroCutsConfig:
             raise ConfigError(
                 f"rollout_backend must be one of {ROLLOUT_BACKENDS}, "
                 f"got {self.rollout_backend!r}"
+            )
+        if self.max_weight_lag not in (0, 1):
+            raise ConfigError(
+                "max_weight_lag must be 0 or 1: the pipelined collector "
+                "holds at most one in-flight round (double-buffered "
+                f"broadcast), got {self.max_weight_lag!r}"
             )
 
     def ppo_config(self) -> PPOConfig:

@@ -13,6 +13,22 @@ evaluation section reports.
 Shard collection is a pure function of (weights, seed, budget), so for a
 fixed configuration the serial backend and a one-worker process pool produce
 byte-identical training histories.
+
+Two fleet-trainer refinements ride on that purity:
+
+* **Shared-memory weight broadcast** — process-pool backends publish each
+  weight snapshot once through :mod:`repro.neurocuts.broadcast` and ship a
+  tiny handle per shard instead of pickling the flat vector per request.
+  Serial/thread backends keep the inline ndarray; the bytes collected are
+  identical either way.
+* **Async collection** (``config.async_collection``) — the next round's
+  shards are submitted on the *pre-update* snapshot before the PPO update
+  runs, so workers keep rolling while the learner learns.  Every trained
+  batch carries an explicit weight-generation stamp and the trainer raises
+  if a batch is ever staler than ``config.max_weight_lag``.  Checkpoints
+  persist the gathered-but-untrained prefetch round, so resumed async runs
+  continue byte-identically.  With ``async_collection=False`` the classic
+  synchronous path runs untouched.
 """
 
 from __future__ import annotations
@@ -36,7 +52,8 @@ from repro.tree.lookup import TreeClassifier
 from repro.tree.serialize import tree_from_dict, tree_to_dict
 from repro.tree.tree import DecisionTree
 from repro.baselines.base import TreeBuilder
-from repro.executors import RolloutExecutor
+from repro.executors import ProcessPoolExecutor, RolloutExecutor, TaskHandle
+from repro.neurocuts.broadcast import WeightBroadcast, shared_memory_available
 from repro.neurocuts.config import NeuroCutsConfig
 from repro.neurocuts.env import NeuroCutsEnv, RolloutResult
 from repro.neurocuts.reward import RewardComponents
@@ -72,6 +89,30 @@ class IterationStats:
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self.__dict__)
+
+
+@dataclass
+class _InFlightRound:
+    """One submitted-but-ungathered collection round (the async pipeline)."""
+
+    handles: List[TaskHandle]
+    #: Weight generation the round's snapshot was taken at (staleness stamp).
+    generation: int
+
+
+@dataclass
+class _ReadyRound:
+    """A gathered round waiting to be trained on.
+
+    Its steps are already counted and its best-tree candidates already
+    folded — exactly the state an uninterrupted run is in between gathering
+    a round and running its PPO update — so a checkpoint carrying one
+    resumes byte-identically.
+    """
+
+    batch: SampleBatch
+    summaries: List[RolloutSummary]
+    generation: int
 
 
 @dataclass
@@ -146,6 +187,19 @@ class NeuroCutsTrainer:
         #: shard requests need not carry a bootstrap payload).
         self._session_initialized = False
         self._rollout_backend = rollout_backend
+        #: Weight generations applied so far (== PPO updates run).  Stamps
+        #: async batches so staleness is asserted, never assumed.
+        self._weight_generation = 0
+        #: Per-iteration staleness (in weight generations) of the batch each
+        #: PPO update trained on; all zeros on the synchronous path.
+        self.collection_lags: List[int] = []
+        #: The async pipeline's one in-flight round (None when synchronous).
+        self._inflight: Optional[_InFlightRound] = None
+        #: A gathered-but-untrained round carried across train() calls and
+        #: checkpoint resumes.
+        self._prefetch: Optional[_ReadyRound] = None
+        #: Shared-memory weight publisher (process-pool backends only).
+        self._broadcast: Optional[WeightBroadcast] = None
 
     # ------------------------------------------------------------------ #
     # Executor lifecycle
@@ -177,6 +231,20 @@ class NeuroCutsTrainer:
         Externally supplied executors are left running — their owner decides
         when to release them.
         """
+        # Drain any in-flight async round before tearing anything down:
+        # abandoned tasks would otherwise race the shared-memory unlink (and
+        # a pool shutdown) below.  Results are discarded; the gathered
+        # prefetch (if any) is kept so a save() after close() stays exact.
+        if self._inflight is not None:
+            for handle in self._inflight.handles:
+                try:
+                    handle.result()
+                except Exception:  # noqa: BLE001 - draining, not consuming
+                    pass
+            self._inflight = None
+        if self._broadcast is not None:
+            self._broadcast.close()
+            self._broadcast = None
         # Serial sessions build their rollout worker in this process; drop
         # it so closed trainers do not accumulate env + model replicas.
         discard_session(self._session)
@@ -196,20 +264,31 @@ class NeuroCutsTrainer:
     # Rollout collection (the scatter/gather half of the learner loop)
     # ------------------------------------------------------------------ #
 
-    def collect_batch(self) -> tuple[SampleBatch, List[RolloutSummary]]:
-        """Collect one PPO batch worth of rollouts, sharded across workers.
+    def _publish_weights(self, executor: RolloutExecutor):
+        """Snapshot the model for scatter: inline ndarray or shm handle.
 
-        Broadcasts the current weights, scatters per-worker seeds and
-        budgets, gathers the shards, folds their best-tree candidates into
-        the global best tracking, and concatenates the experience.
+        Process pools publish the flat vector once into shared memory and
+        ship a tiny :class:`~repro.neurocuts.broadcast.WeightHandle` per
+        shard (stamped with the round index it serves).  Serial and thread
+        backends keep the inline ndarray — the same bytes either way, so
+        histories are byte-identical across the two transports.
         """
-        executor = self._ensure_executor()
+        flat = broadcast_weights(self.model)
+        if not (isinstance(executor, ProcessPoolExecutor)
+                and shared_memory_available()):
+            return flat
+        if self._broadcast is None:
+            self._broadcast = WeightBroadcast(capacity=len(flat))
+        return self._broadcast.publish(flat, generation=self._collect_rounds)
+
+    def _build_requests(self, executor: RolloutExecutor) -> List[ShardRequest]:
+        """Scatter plan for the next collection round (round index seeds it)."""
         remaining = self.config.max_timesteps_total - self._timesteps_total
         total_budget = max(1, min(self.config.timesteps_per_batch, remaining))
         num_workers = max(1, self.num_rollout_workers)
         budgets = shard_budgets(total_budget, num_workers)
         seeds = shard_seeds(self.config.seed, self._collect_rounds, num_workers)
-        weights = broadcast_weights(self.model)
+        weights = self._publish_weights(executor)
         # External executors never ran our initializer, so every request
         # carries a (ruleset, config) bootstrap payload.  It cannot be
         # dropped after a warm-up round: map() gives no process-affinity
@@ -218,14 +297,15 @@ class NeuroCutsTrainer:
         # default) initialise eagerly and never pay this pickling cost.
         bootstrap = None if self._session_initialized \
             else (self.ruleset, self.config)
-        requests = [
+        return [
             ShardRequest(session=self._session, weights=weights, seed=seed,
                          budget=budget, bootstrap=bootstrap)
             for seed, budget in zip(seeds, budgets)
         ]
-        shards = executor.map(_collect_shard, requests)
-        self._collect_rounds += 1
 
+    def _fold_shards(self, shards) -> tuple[SampleBatch, List[RolloutSummary]]:
+        """Consume one gathered round: count steps, fold bests, concatenate."""
+        self._collect_rounds += 1
         batches: List[SampleBatch] = []
         summaries: List[RolloutSummary] = []
         for shard in shards:
@@ -245,6 +325,69 @@ class NeuroCutsTrainer:
             # train() can return the optimal tree instead of crashing.
             raise BuildError("no experience collected; rollouts produced no steps")
         return SampleBatch.concat(batches), summaries
+
+    def collect_batch(self) -> tuple[SampleBatch, List[RolloutSummary]]:
+        """Collect one PPO batch worth of rollouts, sharded across workers.
+
+        Broadcasts the current weights, scatters per-worker seeds and
+        budgets, gathers the shards, folds their best-tree candidates into
+        the global best tracking, and concatenates the experience.
+        """
+        executor = self._ensure_executor()
+        requests = self._build_requests(executor)
+        shards = executor.map(_collect_shard, requests)
+        return self._fold_shards(shards)
+
+    # ----- the async pipeline (submit ahead, gather one round behind) ----- #
+
+    def _submit_round(self) -> _InFlightRound:
+        """Launch the next collection round without waiting on its results."""
+        assert self._inflight is None, "at most one round may be in flight"
+        executor = self._ensure_executor()
+        requests = self._build_requests(executor)
+        return _InFlightRound(
+            handles=[executor.submit(_collect_shard, request)
+                     for request in requests],
+            generation=self._weight_generation,
+        )
+
+    def _gather_inflight(self) -> _ReadyRound:
+        """Block on the in-flight round and fold it (clears the pipeline)."""
+        inflight = self._inflight
+        self._inflight = None
+        shards = [handle.result() for handle in inflight.handles]
+        batch, summaries = self._fold_shards(shards)
+        return _ReadyRound(batch=batch, summaries=summaries,
+                           generation=inflight.generation)
+
+    def _take_ready_round(self) -> _ReadyRound:
+        """The next round to train on: prefetch, in-flight, or collected now."""
+        if self._prefetch is not None:
+            ready = self._prefetch
+            self._prefetch = None
+            return ready
+        if self._inflight is None:
+            # Pipeline cold (first iteration, or ``max_weight_lag == 0``):
+            # collect synchronously on the current weights.
+            self._inflight = self._submit_round()
+        return self._gather_inflight()
+
+    def _drain_inflight(self) -> None:
+        """Gather a leftover in-flight round into the prefetch stash.
+
+        Called when the training loop exits with the pipeline primed: the
+        round's steps are counted and its best candidates folded (exactly
+        the state between gathering and training), and the gathered batch is
+        carried in ``self._prefetch`` — consumed by the next ``train`` call
+        and persisted by :meth:`save`, so nothing collected is ever lost.
+        """
+        if self._inflight is not None:
+            try:
+                self._prefetch = self._gather_inflight()
+            except BuildError:
+                # The drained round had no trainable steps; its (optimal)
+                # tree already reached the best tracking via the fold.
+                pass
 
     def _consider_best(self, result: RolloutResult) -> None:
         """Track the best complete (non-overflowing) tree seen so far."""
@@ -266,6 +409,8 @@ class NeuroCutsTrainer:
         so repeated ``train`` calls — and checkpoint resumes — continue the
         same trajectory an uninterrupted run would follow.
         """
+        if self.config.async_collection:
+            return self._train_async(max_iterations)
         iteration = len(self.history)
         while self._timesteps_total < self.config.max_timesteps_total:
             if max_iterations is not None and iteration >= max_iterations:
@@ -278,6 +423,8 @@ class NeuroCutsTrainer:
                     break  # nothing to learn (single-leaf tree): done
                 raise
             ppo_stats = self.learner.update(batch)
+            self._weight_generation += 1
+            self.collection_lags.append(0)
             iteration += 1
             stats = self._record_iteration(iteration, summaries, ppo_stats,
                                            time.perf_counter() - start)
@@ -289,6 +436,70 @@ class NeuroCutsTrainer:
                     self._stale_iterations += 1
                     if self._stale_iterations >= self.config.convergence_patience:
                         break
+        return self.result()
+
+    def _train_async(self, max_iterations: Optional[int] = None
+                     ) -> TrainingResult:
+        """The pipelined training loop (``config.async_collection``).
+
+        Each iteration trains on the round gathered from the pipeline and
+        immediately resubmits collection on the *pre-update* snapshot, so
+        workers roll while the learner updates.  The batch trained on is
+        therefore one weight generation stale from the second iteration on —
+        asserted against ``config.max_weight_lag`` via explicit generation
+        stamps, never assumed.  With ``max_weight_lag=0`` the pipeline never
+        primes and the trajectory is byte-identical to the synchronous path.
+
+        When the loop exits with a round still in flight (budget, iteration
+        cap, or convergence), the round is gathered and stashed as the
+        prefetch consumed by the next ``train`` call — and persisted by
+        :meth:`save` — so interrupted pipelines resume exactly.
+        """
+        iteration = len(self.history)
+        while self._timesteps_total < self.config.max_timesteps_total \
+                or self._prefetch is not None:
+            if max_iterations is not None and iteration >= max_iterations:
+                break
+            start = time.perf_counter()
+            try:
+                ready = self._take_ready_round()
+            except BuildError:
+                if self._best_any is not None:
+                    break  # nothing to learn (single-leaf tree): done
+                raise
+            # Pipeline: launch the next round on the snapshot *before* this
+            # update applies, while there is still budget to spend.  Not
+            # gated on max_iterations: capped runs leave the pipeline primed
+            # (drained to the prefetch below) so a later train() call
+            # continues byte-identically with an uncapped run.
+            if self.config.max_weight_lag >= 1 \
+                    and self._timesteps_total < self.config.max_timesteps_total:
+                self._inflight = self._submit_round()
+            lag = self._weight_generation - ready.generation
+            if lag > self.config.max_weight_lag:
+                raise BuildError(
+                    f"async collection staleness contract violated: batch "
+                    f"collected at weight generation {ready.generation} "
+                    f"trained at generation {self._weight_generation} "
+                    f"(lag {lag} > max_weight_lag "
+                    f"{self.config.max_weight_lag})"
+                )
+            ppo_stats = self.learner.update(ready.batch)
+            self._weight_generation += 1
+            self.collection_lags.append(lag)
+            iteration += 1
+            stats = self._record_iteration(iteration, ready.summaries,
+                                           ppo_stats,
+                                           time.perf_counter() - start)
+            if self.config.convergence_patience is not None:
+                if stats.best_objective < self._last_best - 1e-9:
+                    self._last_best = stats.best_objective
+                    self._stale_iterations = 0
+                else:
+                    self._stale_iterations += 1
+                    if self._stale_iterations >= self.config.convergence_patience:
+                        break
+        self._drain_inflight()
         return self.result()
 
     def _record_iteration(self, iteration: int,
@@ -356,8 +567,15 @@ class NeuroCutsTrainer:
         :meth:`restore` continues training with byte-identical trajectories:
         shard seeds derive from the persisted round counter, the PPO
         minibatch RNG state and adaptive KL coefficient are saved, and the
-        best-tree records (trees included) survive the round trip.
+        best-tree records (trees included) survive the round trip.  Async
+        runs additionally persist the weight-generation stamp and the
+        gathered-but-untrained prefetch round, so a resumed pipeline
+        continues exactly where an uninterrupted one would be.
         """
+        # A checkpoint must never capture a half-gathered pipeline: fold any
+        # in-flight round into the prefetch first (same transition train()
+        # performs on exit).
+        self._drain_inflight()
         trainer_state = {
             "config": {
                 key: list(value) if isinstance(value, tuple) else value
@@ -373,6 +591,9 @@ class NeuroCutsTrainer:
             "history": [stats.as_dict() for stats in self.history],
             "best_rollout": self._rollout_record(self._best_rollout),
             "best_any": self._rollout_record(self._best_any),
+            "weight_generation": self._weight_generation,
+            "collection_lags": list(self.collection_lags),
+            "prefetch": self._prefetch_record(self._prefetch),
         }
         save_checkpoint(self.model, path, optimizer=self.learner.optimizer,
                         trainer_state=trainer_state)
@@ -389,6 +610,51 @@ class NeuroCutsTrainer:
             "num_steps": result.num_steps,
             "truncated": result.truncated,
         }
+
+    @staticmethod
+    def _prefetch_record(round_: Optional[_ReadyRound]) -> Optional[Dict]:
+        """Serialise the prefetch round as JSON-safe nested lists.
+
+        ``json`` round-trips float64 exactly (shortest-repr encoding), so a
+        restored prefetch batch is byte-identical to the saved one.
+        """
+        if round_ is None:
+            return None
+        batch = round_.batch
+        return {
+            "generation": round_.generation,
+            "summaries": [dataclasses.asdict(s) for s in round_.summaries],
+            "batch": {
+                "obs": batch.obs.tolist(),
+                "actions": batch.actions.tolist(),
+                "returns": batch.returns.tolist(),
+                "value_preds": batch.value_preds.tolist(),
+                "logp_old": batch.logp_old.tolist(),
+                "action_masks": None if batch.action_masks is None else
+                [mask.tolist() for mask in batch.action_masks],
+            },
+        }
+
+    @staticmethod
+    def _prefetch_from_record(record: Optional[Dict]) -> Optional[_ReadyRound]:
+        if record is None:
+            return None
+        raw = record["batch"]
+        masks = raw.get("action_masks")
+        batch = SampleBatch(
+            obs=np.array(raw["obs"], dtype=np.float64),
+            actions=np.array(raw["actions"], dtype=np.int64),
+            returns=np.array(raw["returns"], dtype=np.float64),
+            value_preds=np.array(raw["value_preds"], dtype=np.float64),
+            logp_old=np.array(raw["logp_old"], dtype=np.float64),
+            action_masks=None if masks is None else
+            [np.array(mask, dtype=bool) for mask in masks],
+        )
+        return _ReadyRound(
+            batch=batch,
+            summaries=[RolloutSummary(**s) for s in record["summaries"]],
+            generation=int(record["generation"]),
+        )
 
     def _rollout_from_record(self, record: Optional[Dict]
                              ) -> Optional[RolloutResult]:
@@ -446,6 +712,15 @@ class NeuroCutsTrainer:
         trainer.history = [IterationStats(**stats) for stats in state["history"]]
         trainer._best_rollout = trainer._rollout_from_record(state["best_rollout"])
         trainer._best_any = trainer._rollout_from_record(state["best_any"])
+        # Fleet-trainer state (absent in pre-async checkpoints: default to
+        # the synchronous interpretation — one generation per update, no
+        # prefetch in the pipeline).
+        trainer._weight_generation = int(
+            state.get("weight_generation", len(trainer.history)))
+        trainer.collection_lags = [
+            int(lag) for lag in state.get("collection_lags", [])]
+        trainer._prefetch = trainer._prefetch_from_record(
+            state.get("prefetch"))
         return trainer
 
 

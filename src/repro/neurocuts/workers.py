@@ -28,11 +28,12 @@ import itertools
 import os
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.executors import RolloutExecutor, make_executor
+from repro.neurocuts.broadcast import WeightHandle, resolve_weights
 from repro.nn.checkpoints import (
     flatten_parameters,
     parameter_spec,
@@ -63,7 +64,11 @@ class ShardRequest:
     Attributes:
         session: identifies which worker state (ruleset + config) serves the
             request; guards against stale per-process worker caches.
-        weights: flat float64 weight snapshot of the learner's policy.
+        weights: the learner's policy snapshot — either the flat float64
+            vector inline (serial/thread backends) or a
+            :class:`~repro.neurocuts.broadcast.WeightHandle` naming a
+            generation published once into shared memory (process pools,
+            which would otherwise pickle one copy per shard).
         seed: entropy for this shard's action sampling (scattered per worker
             per iteration by the learner).
         budget: minimum number of environment timesteps to collect; whole
@@ -77,7 +82,7 @@ class ShardRequest:
     """
 
     session: int
-    weights: np.ndarray
+    weights: Union[np.ndarray, WeightHandle]
     seed: int
     budget: int
     bootstrap: Optional[Tuple[RuleSet, NeuroCutsConfig]] = None
@@ -248,7 +253,8 @@ def _collect_shard(request: ShardRequest) -> RolloutShard:
         worker = RolloutWorker(ruleset, config)
         _WORKERS[request.session] = worker
         _BOOTSTRAPPED_SESSIONS.add(request.session)
-    return worker.collect(request.weights, request.seed, request.budget)
+    return worker.collect(resolve_weights(request.weights), request.seed,
+                          request.budget)
 
 
 def make_rollout_executor(ruleset: RuleSet, config: NeuroCutsConfig,

@@ -28,8 +28,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.executors import EXECUTOR_BACKENDS, RolloutExecutor, TaskHandle, \
-    make_executor
+from repro.executors import EXECUTOR_BACKENDS, RetrainPool, RolloutExecutor, \
+    TaskHandle, make_executor, shared_retrain_pool
 from repro.neurocuts.config import NeuroCutsConfig
 from repro.neurocuts.service import (
     RetrainRequest,
@@ -90,6 +90,13 @@ class RetrainPolicy:
         seed: base RNG seed; each launched job derives its own seed from
             this plus the per-tenant launch counter, so successive retrains
             explore different rollouts.
+        shared_pool_size: when set (>= 1), controllers submit retrain jobs
+            to the process-local *shared* :class:`repro.executors.RetrainPool`
+            of this width (and ``backend``) instead of each owning a private
+            executor — the fleet-trainer path.  Tenants across controllers
+            (and shards within a process) multiplex over one pool with
+            round-robin fairness.  The policy stays picklable, so process
+            shards reconstruct their own process-local pool from it.
     """
 
     timesteps: int = 3_000
@@ -99,6 +106,7 @@ class RetrainPolicy:
     time_space_coeff: float = 1.0
     quality_gate: bool = True
     seed: int = 0
+    shared_pool_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.timesteps < 1:
@@ -110,6 +118,8 @@ class RetrainPolicy:
                 f"backend must be one of {RETRAIN_BACKENDS}, "
                 f"got {self.backend!r}"
             )
+        if self.shared_pool_size is not None and self.shared_pool_size < 1:
+            raise ValueError("shared_pool_size must be >= 1 when set")
 
     def training_config(self, seed: int) -> NeuroCutsConfig:
         """The NeuroCuts configuration one retrain job runs with."""
@@ -135,6 +145,10 @@ class RetrainStats:
     #: Finished jobs whose tree failed the quality gate (objective did not
     #: beat the patched incumbent); the incumbent kept serving.
     rejected: int = 0
+    #: Jobs submitted through a *shared* retrain pool (0 when the
+    #: controller owns a private executor).  Deterministic: every trigger
+    #: under a shared-pool policy enqueues exactly once.
+    queued: int = 0
     #: Wall seconds each *installed* job spent training, in install order.
     train_seconds: List[float] = field(default_factory=list)
 
@@ -148,6 +162,7 @@ class RetrainStats:
         self.installed += other.installed
         self.discarded += other.discarded
         self.rejected += other.rejected
+        self.queued += other.queued
         self.train_seconds.extend(other.train_seconds)
         return self
 
@@ -157,6 +172,7 @@ class RetrainStats:
             "installed": self.installed,
             "discarded": self.discarded,
             "rejected": self.rejected,
+            "queued": self.queued,
             "mean_train_seconds": (
                 sum(self.train_seconds) / len(self.train_seconds)
                 if self.train_seconds else 0.0
@@ -171,6 +187,9 @@ class _RetrainJob:
     tenant_id: str
     base_ruleset: RuleSet
     handle: TaskHandle[RetrainResponse]
+    #: The incumbent's objective at launch, when it served exactly
+    #: ``base_ruleset`` — the apples-to-apples bar for the quality gate.
+    incumbent_objective: float = float("inf")
 
 
 class RetrainController:
@@ -182,7 +201,15 @@ class RetrainController:
         executor: optional pre-built executor to run jobs on (the controller
             then never shuts it down).  By default the controller owns one
             sized for a single concurrent job per poll cycle, built by
-            :func:`repro.executors.make_executor` from ``policy.backend``.
+            :func:`repro.executors.make_executor` from ``policy.backend`` —
+            unless ``policy.shared_pool_size`` is set, in which case jobs
+            multiplex over the process-local shared
+            :class:`~repro.executors.RetrainPool` instead.
+        pool: optional explicit :class:`~repro.executors.RetrainPool` to
+            submit jobs to (overrides both ``executor`` and the policy's
+            shared pool; the controller never shuts it down).  Pool
+            lifecycle belongs to the serving layer / interpreter-exit hook,
+            never to individual controllers.
 
     Call :meth:`poll_tenant` from the serving loop (cheap: a dict probe and
     a counter comparison), :meth:`drain` at quiesce points to land every
@@ -191,18 +218,23 @@ class RetrainController:
 
     def __init__(self, registry: TenantRegistry,
                  policy: RetrainPolicy = RetrainPolicy(),
-                 executor: Optional[RolloutExecutor] = None) -> None:
+                 executor: Optional[RolloutExecutor] = None,
+                 pool: Optional[RetrainPool] = None) -> None:
         self.registry = registry
         self.policy = policy
         self.stats = RetrainStats()
-        if executor is None:
+        self._owns_executor = False
+        if pool is None and executor is None \
+                and policy.shared_pool_size is not None:
+            pool = shared_retrain_pool(policy.shared_pool_size,
+                                       backend=policy.backend)
+        if pool is None and executor is None:
             # One worker per concurrently-retraining tenant is overkill on
             # small machines; a single background worker serialises jobs
             # while keeping them off the serving thread.
             executor = make_executor(1, backend=policy.backend)
             self._owns_executor = True
-        else:
-            self._owns_executor = False
+        self._pool = pool
         self._executor = executor
         self._jobs: Dict[str, _RetrainJob] = {}
         self._launch_counts: Dict[str, int] = {}
@@ -245,6 +277,17 @@ class RetrainController:
         """Poll every registered tenant; returns those that got a new tree."""
         return [tenant_id for tenant_id in self.registry.tenants()
                 if self.poll_tenant(tenant_id)]
+
+    def retrain_in_flight(self, tenant_id: str) -> bool:
+        """True while the tenant's launched retrain is still *running*.
+
+        A finished-but-uninstalled job returns False: the caller's next
+        poll or drain lands it without waiting, so it must not defer a
+        migration.  Polling the handle also pumps a shared pool, advancing
+        queued jobs of other tenants.
+        """
+        job = self._jobs.get(tenant_id)
+        return job is not None and not job.handle.ready()
 
     def drain_tenant(self, tenant_id: str) -> bool:
         """Land (or reject) one tenant's in-flight retrain, blocking.
@@ -292,9 +335,20 @@ class RetrainController:
                 landed.append(tenant_id)
         return landed
 
+    @property
+    def pool(self) -> Optional[RetrainPool]:
+        """The shared retrain pool jobs multiplex over (None = private)."""
+        return self._pool
+
     def close(self) -> None:
-        """Shut down the controller-owned executor (idempotent)."""
-        if self._owns_executor:
+        """Shut down the controller-owned executor (idempotent).
+
+        Shared pools (and caller-provided executors) are left running —
+        their lifecycle belongs to the serving layer, which wraps serving
+        loops in ``try/finally`` and shuts pools down at interpreter exit
+        via :func:`repro.executors.shutdown_shared_retrain_pools`.
+        """
+        if self._owns_executor and self._executor is not None:
             self._executor.shutdown()
 
     def __enter__(self) -> "RetrainController":
@@ -321,13 +375,25 @@ class RetrainController:
             ),
             max_iterations=self.policy.max_iterations,
         )
-        handle = self._executor.submit(run_retrain, request)
-        self._jobs[tenant_id] = _RetrainJob(tenant_id=tenant_id,
-                                            base_ruleset=base, handle=handle)
+        if self._pool is not None:
+            handle = self._pool.submit(tenant_id, run_retrain, request)
+            self.stats.queued += 1
+            self.registry.metrics.gauge("serve.retrain_queue_depth").set(
+                self._pool.queue_depth())
+        else:
+            handle = self._executor.submit(run_retrain, request)
+        self._jobs[tenant_id] = _RetrainJob(
+            tenant_id=tenant_id, base_ruleset=base, handle=handle,
+            incumbent_objective=classifier_objective(
+                slot.classifier.stats(), self.policy.time_space_coeff),
+        )
         self.stats.triggered += 1
 
     def _install(self, job: _RetrainJob) -> bool:
         response = job.handle.result()
+        if self._pool is not None:
+            self.registry.metrics.gauge("serve.retrain_queue_depth").set(
+                self._pool.queue_depth())
         try:
             slot = self.registry.slot(job.tenant_id)
         except UnknownTenantError:
@@ -337,13 +403,16 @@ class RetrainController:
         if self.policy.quality_gate:
             # Strict improvement required: a tie means the retrain bought
             # nothing, so the incumbent (with its warm flow cache and
-            # already-compiled engine) keeps serving.  The incumbent's
-            # stats reflect every incremental patch applied since the last
-            # adoption — exactly the tree the candidate must beat.
+            # already-compiled engine) keeps serving.  The bar is the
+            # incumbent's objective *at launch*, when both trees served
+            # exactly ``base_ruleset``: updates that raced the retrain are
+            # replayed onto the candidate at adoption anyway, and reading
+            # the incumbent at install time instead would make the verdict
+            # depend on how many of them landed first — i.e. on backend
+            # scheduling, breaking serial/thread/process count parity.
             coeff = self.policy.time_space_coeff
             candidate = classifier_objective(classifier.stats(), coeff)
-            incumbent = classifier_objective(slot.classifier.stats(), coeff)
-            if candidate >= incumbent:
+            if candidate >= job.incumbent_objective:
                 self.stats.rejected += 1
                 # Restart the drift counters: without this the very next
                 # poll would relaunch the same losing retrain in a loop.

@@ -102,11 +102,18 @@ class ServingReport:
     #: Retrained trees whose time/space objective failed to beat the
     #: incrementally-patched incumbent (quality gate; see RetrainController).
     retrains_rejected: int = 0
+    #: Retrain jobs submitted through a *shared* retrain pool (the
+    #: fleet-trainer path; zero when controllers own private executors).
+    retrain_queue_submitted: int = 0
     #: Live tenant migrations completed (zero outside the rebalancing
     #: sharded path; see repro.serve.rebalance).
     migrations: int = 0
     #: Rebalance plans evaluated on the trace clock (one per interval).
     rebalance_plans: int = 0
+    #: Planned migrations deferred because the tenant had a retrain in
+    #: flight at settle time; each deferral is retried until it executes,
+    #: so no plan is ever lost (see repro.serve.sharded.serve_rebalancing).
+    rebalance_deferred: int = 0
     #: Admission-control tally (all zero when no ingestion frontend is
     #: attached).  Invariant: offered == admitted + throttled + shed, and
     #: num_requests == ingest_admitted whenever ingest_offered > 0 — every
@@ -168,8 +175,10 @@ class ServingReport:
             "retrains_installed": self.retrains_installed,
             "retrains_discarded": self.retrains_discarded,
             "retrains_rejected": self.retrains_rejected,
+            "retrain_queue_submitted": self.retrain_queue_submitted,
             "migrations": self.migrations,
             "rebalance_plans": self.rebalance_plans,
+            "rebalance_deferred": self.rebalance_deferred,
             "ingest_offered": self.ingest_offered,
             "ingest_admitted": self.ingest_admitted,
             "ingest_throttled": self.ingest_throttled,
@@ -203,11 +212,17 @@ class ServingReport:
                 f"{self.retrains_rejected:,} rejected, "
                 f"{self.retrains_discarded:,} discarded",
             ])
+        if self.retrain_queue_submitted:
+            rows.append([
+                "retrain pool",
+                f"{self.retrain_queue_submitted:,} jobs via shared pool",
+            ])
         if self.migrations or self.rebalance_plans:
             rows.append([
                 "rebalancing",
                 f"{self.rebalance_plans:,} plans, "
-                f"{self.migrations:,} migrations",
+                f"{self.migrations:,} migrations, "
+                f"{self.rebalance_deferred:,} deferred",
             ])
         if self.ingest_offered:
             rows.append([
@@ -551,6 +566,8 @@ class ServingSession:
             retrains_installed=retrain_stats.installed if retrain_stats else 0,
             retrains_discarded=retrain_stats.discarded if retrain_stats else 0,
             retrains_rejected=retrain_stats.rejected if retrain_stats else 0,
+            retrain_queue_submitted=retrain_stats.queued
+            if retrain_stats else 0,
             ingest_offered=admission.offered if admission else 0,
             ingest_admitted=admission.admitted if admission else 0,
             ingest_throttled=admission.throttled if admission else 0,

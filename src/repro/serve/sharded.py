@@ -151,6 +151,23 @@ class ShardOutcome:
     wall_seconds: float = 0.0
 
 
+#: Process-local latch so the daemonic-downgrade warning fires once per
+#: shard worker, not once per retrain-armed shard task it serves.
+_DAEMONIC_DOWNGRADE_WARNED = False
+
+
+def _warn_daemonic_downgrade_once() -> None:
+    global _DAEMONIC_DOWNGRADE_WARNED
+    if _DAEMONIC_DOWNGRADE_WARNED:
+        return
+    _DAEMONIC_DOWNGRADE_WARNED = True
+    warnings.warn(
+        "process-backend retrains cannot run inside a (daemonic) "
+        "serving shard worker; falling back to the thread backend",
+        RuntimeWarning,
+    )
+
+
 def serve_shard(task: ShardTask) -> ShardOutcome:
     """Serve one shard's tenants (the executor-facing task function)."""
     registry = TenantRegistry(
@@ -164,15 +181,14 @@ def serve_shard(task: ShardTask) -> ShardOutcome:
                           algorithm=tenant.algorithm, binth=tenant.binth)
     retrain_policy = task.retrain_policy
     if retrain_policy is not None and retrain_policy.backend == "process" \
+            and retrain_policy.shared_pool_size is None \
             and multiprocessing.current_process().daemon:
         # Pool workers are daemonic and cannot spawn child processes, so a
         # process-backend retrain inside a process-backend shard would die
         # at the first trigger; threads share the worker's core anyway.
-        warnings.warn(
-            "process-backend retrains cannot run inside a (daemonic) "
-            "serving shard worker; falling back to the thread backend",
-            RuntimeWarning,
-        )
+        # Shared-pool policies never reach this branch: the pool registry
+        # resolves the backend itself (repro.executors.resolve_pool_backend).
+        _warn_daemonic_downgrade_once()
         retrain_policy = replace(retrain_policy, backend="thread")
     controller = RetrainController(registry, retrain_policy) \
         if retrain_policy is not None else None
@@ -275,8 +291,11 @@ def merge_reports(outcomes: Sequence[ShardOutcome],
         retrains_installed=sum(r.retrains_installed for r in reports),
         retrains_discarded=sum(r.retrains_discarded for r in reports),
         retrains_rejected=sum(r.retrains_rejected for r in reports),
+        retrain_queue_submitted=sum(r.retrain_queue_submitted
+                                    for r in reports),
         migrations=sum(r.migrations for r in reports),
         rebalance_plans=sum(r.rebalance_plans for r in reports),
+        rebalance_deferred=sum(r.rebalance_deferred for r in reports),
         ingest_offered=sum(r.ingest_offered for r in reports),
         ingest_admitted=sum(r.ingest_admitted for r in reports),
         ingest_throttled=sum(r.ingest_throttled for r in reports),
@@ -413,8 +432,10 @@ def _migrate_tenant(tenant_id: str, source: _ShardStack,
     """Drain -> ship -> install: move one quiesced tenant between stacks.
 
     Caller guarantees the tenant's in-flight batch is drained
-    (``queue_depth == 0`` after a ``poll``).  Any in-flight retrain lands
-    (or is rejected) on the source first, then the slot state crosses a
+    (``queue_depth == 0`` after a ``poll``) and that no retrain is still
+    *running* (``settle`` defers the move otherwise).  A finished-but-
+    uninstalled retrain lands (or is rejected) here, then the slot state
+    crosses a
     real ``pickle`` round-trip — proving every migration this front-end
     performs could equally cross a process boundary — and is installed on
     the target through the same atomic compile-and-install path as tenant
@@ -482,9 +503,17 @@ def serve_rebalancing(
     ``ingest`` is given — runs once in the front-end over the full stream,
     which per-tenant state makes equivalent to single-process admission.
 
+    A planned move whose tenant has a retrain still *running* at settle
+    time is **deferred, never dropped**: the plan stays pending (counted
+    once per episode in ``merged_report.rebalance_deferred``) and retries
+    at the tenant's later events; a plan still pending when the trace ends
+    executes at the quiesce point, after ``finish()`` drained every batch
+    and retrain.
+
     Returns ``(outcomes, merged_report, plan)`` like :func:`serve_sharded`;
-    ``merged_report.migrations`` / ``merged_report.rebalance_plans`` count
-    the moves executed and the policy evaluations run.
+    ``merged_report.migrations`` / ``merged_report.rebalance_plans`` /
+    ``merged_report.rebalance_deferred`` count the moves executed, the
+    policy evaluations run, and the retrain-deferred move episodes.
     """
     if policy is None:
         raise ValueError("serve_rebalancing needs a rebalance policy")
@@ -547,8 +576,12 @@ def serve_rebalancing(
     update_index = 0
     next_boundary = interval
     num_plans = 0
+    num_deferred = 0
     #: tenant -> target shard, decided by a plan, awaiting a drained queue.
     pending_moves: Dict[str, int] = {}
+    #: Tenants whose pending move is deferred by an in-flight retrain
+    #: (counted once per deferral episode, not once per retried event).
+    deferred_moves: set = set()
 
     def evaluate(now: float) -> None:
         """Run one policy evaluation if ``now`` crossed a boundary."""
@@ -581,47 +614,91 @@ def serve_rebalancing(
                 pending_moves[move.tenant_id] = move.target_shard
 
     def settle(tenant_id: str, now: float) -> None:
-        """Execute a pending migration once the tenant's queue is drained."""
+        """Execute a pending migration once the tenant is quiesced.
+
+        Two things can hold a planned move back, and both leave the plan
+        *pending-until-settled* (retried at every later event of the
+        tenant, so no plan is ever lost): an undrained in-flight batch
+        (the normal batch-boundary wait) and a retrain still running on
+        the source shard.  The latter is counted — once per deferral
+        episode — in ``rebalance_deferred``; blocking the whole event loop
+        on the training job (the old behaviour) would stall every tenant
+        on the shard behind one background retrain.
+        """
+        nonlocal num_deferred
         target_index = pending_moves.get(tenant_id)
         if target_index is None:
             return
         source_index = placement[tenant_id]
         if source_index == target_index:
             del pending_moves[tenant_id]
+            deferred_moves.discard(tenant_id)
             return
         source = stacks[source_index]
         source.session.poll(now)
         if source.session.queue_depth(tenant_id) > 0:
             return  # not a batch boundary yet; retry at the next event
+        if source.controller is not None and \
+                source.controller.retrain_in_flight(tenant_id):
+            # Defer, don't drop: the plan stays pending and the migration
+            # executes at a later event once the retrain lands.
+            if tenant_id not in deferred_moves:
+                deferred_moves.add(tenant_id)
+                num_deferred += 1
+                source.registry.metrics.counter(
+                    "serve.rebalance_deferred").inc()
+            return
         _migrate_tenant(tenant_id, source, stacks[target_index])
         placement[tenant_id] = target_index
         del pending_moves[tenant_id]
+        deferred_moves.discard(tenant_id)
 
     def deliver(update: RuleUpdate) -> None:
         evaluate(update.time)
         settle(update.tenant_id, update.time)
         stacks[placement[update.tenant_id]].session.deliver_update(update)
 
-    for request in requests:
-        # Global event order, exactly like the single-process loop: every
-        # update scheduled at or before this arrival applies first.
-        while update_index < len(pending_updates) and \
-                pending_updates[update_index].time <= request.time:
-            deliver(pending_updates[update_index])
-            update_index += 1
-        evaluate(request.time)
-        settle(request.tenant_id, request.time)
-        stacks[placement[request.tenant_id]].session.offer(request)
-    for update in pending_updates[update_index:]:
-        deliver(update)
-
+    # try/finally so a mid-trace exception cannot leak the per-stack
+    # retrain executors (close() is idempotent; shared pools are left to
+    # the process-level registry and its interpreter-exit hook).
     reports: List[ServingReport] = []
-    for stack in stacks:
-        report = stack.session.finish()
-        report.migrations = stack.migrations_in
-        reports.append(report)
-        if stack.controller is not None:
-            stack.controller.close()
+    try:
+        for request in requests:
+            # Global event order, exactly like the single-process loop:
+            # every update scheduled at or before this arrival applies
+            # first.
+            while update_index < len(pending_updates) and \
+                    pending_updates[update_index].time <= request.time:
+                deliver(pending_updates[update_index])
+                update_index += 1
+            evaluate(request.time)
+            settle(request.tenant_id, request.time)
+            stacks[placement[request.tenant_id]].session.offer(request)
+        for update in pending_updates[update_index:]:
+            deliver(update)
+
+        for stack in stacks:
+            reports.append(stack.session.finish())
+
+        # End-of-trace settlement: a move deferred behind a retrain whose
+        # tenant had no later event still executes at the quiesce point —
+        # finish() flushed every batch and drained every retrain, so
+        # nothing can hold it back and no plan is ever lost.
+        for tenant_id, target_index in list(pending_moves.items()):
+            source_index = placement[tenant_id]
+            if source_index != target_index:
+                _migrate_tenant(tenant_id, stacks[source_index],
+                                stacks[target_index])
+                placement[tenant_id] = target_index
+            del pending_moves[tenant_id]
+            deferred_moves.discard(tenant_id)
+
+        for stack, report in zip(stacks, reports):
+            report.migrations = stack.migrations_in
+    finally:
+        for stack in stacks:
+            if stack.controller is not None:
+                stack.controller.close()
 
     outcomes: List[ShardOutcome] = []
     for stack, report in zip(stacks, reports):
@@ -644,6 +721,7 @@ def serve_rebalancing(
     wall = time.perf_counter() - started
     merged = merge_reports(outcomes, wall)
     merged.rebalance_plans = num_plans
+    merged.rebalance_deferred = num_deferred
     if admission is not None:
         # The frontend owns admission in this mode; fold its counters and
         # per-tenant summaries into the merged report the same way a

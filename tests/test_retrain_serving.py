@@ -266,9 +266,11 @@ class TestRetrainQualityGate:
                      incumbent_score):
         import repro.serve.controller as controller_module
 
+        # The controller scores the incumbent at launch (the snapshot the
+        # gate compares against) and the candidate at install, in that order.
         monkeypatch.setattr(
             controller_module, "classifier_objective",
-            self._scripted_objective(candidate_score, incumbent_score))
+            self._scripted_objective(incumbent_score, candidate_score))
         registry = TenantRegistry(background_swaps=False,
                                   default_retrain_threshold=3)
         slot = registry.register("t0", ruleset)
@@ -359,9 +361,10 @@ class TestRetrainQualityGate:
         calls = {"n": 0}
 
         def losing_objective(stats, coeff):
-            # Candidate scored first (odd calls) always loses.
+            # Incumbent scored first (at launch, odd calls); the candidate
+            # (scored at install, even calls) always loses to it.
             calls["n"] += 1
-            return 2.0 if calls["n"] % 2 == 1 else 1.0
+            return 1.0 if calls["n"] % 2 == 1 else 2.0
 
         monkeypatch.setattr(controller_module, "classifier_objective",
                             losing_objective)

@@ -36,16 +36,21 @@ from repro.serve import (
     LoadAwareRebalancePolicy,
     MigrationPlan,
     NoRebalancePolicy,
+    RetrainController,
+    RetrainPolicy,
     ScheduledRebalancePolicy,
     ShardTelemetry,
+    ShardTenant,
     TelemetrySnapshot,
     TenantLoad,
     TenantMigration,
     TenantRegistry,
     UnknownTenantError,
     make_rebalance_policy,
+    serve_rebalancing,
 )
 from repro.traces import read_trace, replay_trace
+from repro.workloads import FlowTraceConfig, build_workload, make_tenant_specs
 
 DATA_DIR = Path(__file__).parent / "data"
 GOLDEN_REBALANCE = DATA_DIR / "acl1_rebalance.trace"
@@ -457,7 +462,7 @@ class TestTelemetrySnapshotRace:
 # --------------------------------------------------------------------------- #
 
 
-MIGRATION_KEYS = {"migrations", "rebalance_plans"}
+MIGRATION_KEYS = {"migrations", "rebalance_plans", "rebalance_deferred"}
 
 
 def _stable_counters(report):
@@ -513,7 +518,8 @@ class TestThreeWayDifferential:
             _stable_counters(single.result.report)
         static_counters, _ = _stable_counters(static.result.report)
         rebalanced_counters, _ = _stable_counters(rebalanced.result.report)
-        assert single_migration == {"migrations": 0, "rebalance_plans": 0}
+        assert single_migration == {"migrations": 0, "rebalance_plans": 0,
+                                    "rebalance_deferred": 0}
         assert static_counters == single_counters
         assert rebalanced_counters == single_counters
 
@@ -545,6 +551,140 @@ class TestLoadPolicyEndToEnd:
         assert outcome.report.is_exact, outcome.report.mismatches[:3]
         assert outcome.report.num_dropped == 0
         counters, _ = _stable_counters(outcome.result.report)
+        single_counters, _ = \
+            _stable_counters(replay_trace(rebalance_trace).result.report)
+        assert counters == single_counters
+
+
+# --------------------------------------------------------------------------- #
+# Retrain/migration interference: deferred, never dropped
+# --------------------------------------------------------------------------- #
+
+
+def _sticky_controller(holds):
+    """A controller whose ``retrain_in_flight`` stays True for the first
+    ``holds[tenant]`` polls — a deterministic stand-in for a training job
+    that outlasts several batch boundaries."""
+    state = dict(holds)
+
+    class StickyRetrainController(RetrainController):
+        def retrain_in_flight(self, tenant_id):
+            remaining = state.get(tenant_id, 0)
+            if remaining > 0:
+                state[tenant_id] = remaining - 1
+                return True
+            return super().retrain_in_flight(tenant_id)
+
+    return StickyRetrainController, state
+
+
+class TestDeferredMigration:
+    """A rebalance plan targeting a mid-retrain slot is pending-until-
+    settled: retried at later events (or the end-of-trace quiesce point),
+    counted in ``rebalance_deferred``, and never lost."""
+
+    THRESHOLD = 10_000  # no organic retrains: the sticky stub is in charge
+
+    def _run(self, monkeypatch, mover_holds=0):
+        """Serve a 2-tenant trace on 2 shards with one scheduled move of
+        the first tenant (shard 0 -> 1); ``mover_holds`` settle attempts
+        are blocked by the scripted in-flight retrain."""
+        import repro.serve.sharded as sharded_module
+
+        specs = make_tenant_specs(2, families=("acl1",), num_rules=40,
+                                  seed=9)
+        mover = specs[0].tenant_id  # round-robin start: shard 0
+        sticky, state = _sticky_controller({mover: mover_holds})
+        monkeypatch.setattr(sharded_module, "RetrainController", sticky)
+        workload = build_workload(
+            specs, FlowTraceConfig(num_packets=1200, num_flows=100, seed=9))
+        tenants = [ShardTenant(s.tenant_id, s.algorithm, s.binth)
+                   for s in specs]
+        outcomes, merged, _ = serve_rebalancing(
+            tenants, workload.rulesets, workload.requests, workload.updates,
+            num_workers=2, background_swaps=False,
+            retrain_threshold=self.THRESHOLD,
+            retrain_policy=RetrainPolicy(timesteps=300, max_iterations=1,
+                                         backend="serial"),
+            policy=ScheduledRebalancePolicy(moves=((1, mover, 1),)),
+            interval=0.002,  # the trace spans ~0.024s of trace clock
+        )
+        return outcomes, merged, mover, state
+
+    def test_baseline_without_interference_migrates_immediately(
+            self, monkeypatch):
+        outcomes, merged, mover, _ = self._run(monkeypatch)
+        assert merged.migrations == 1
+        assert merged.rebalance_deferred == 0
+        shard1 = next(o for o in outcomes if o.shard_index == 1)
+        assert mover in shard1.tenant_ids
+
+    def test_mid_retrain_move_defers_once_then_executes(self, monkeypatch):
+        outcomes, merged, mover, state = self._run(monkeypatch,
+                                                   mover_holds=3)
+        # All three blocked settle attempts were consumed...
+        assert state[mover] == 0
+        # ...but the episode is counted once, and the plan was never lost:
+        # the move executed at a later event of the same trace.
+        assert merged.rebalance_deferred == 1
+        assert merged.migrations == 1
+        shard1 = next(o for o in outcomes if o.shard_index == 1)
+        assert mover in shard1.tenant_ids
+
+    def test_retrain_outlasting_trace_settles_at_quiesce_point(
+            self, monkeypatch):
+        """No plan is ever lost: a retrain still 'running' when the trace
+        ends defers the move all the way to the end-of-trace settlement,
+        which executes it after finish() quiesced the shard."""
+        outcomes, merged, mover, _ = self._run(monkeypatch,
+                                               mover_holds=10 ** 9)
+        assert merged.rebalance_deferred == 1
+        assert merged.migrations == 1
+        shard1 = next(o for o in outcomes if o.shard_index == 1)
+        assert mover in shard1.tenant_ids
+
+    def test_deferral_changes_no_serving_decisions(self, monkeypatch):
+        """Differential: deferred vs immediate execution of the same plan
+        must serve identical deterministic counters (modulo the migration
+        counters themselves)."""
+        _, immediate, _, _ = self._run(monkeypatch)
+        _, deferred, _, _ = self._run(monkeypatch, mover_holds=3)
+        immediate_counters, immediate_migration = \
+            _stable_counters(immediate)
+        deferred_counters, deferred_migration = _stable_counters(deferred)
+        assert deferred_counters == immediate_counters
+        assert immediate_migration["rebalance_deferred"] == 0
+        assert deferred_migration["rebalance_deferred"] == 1
+        assert deferred_migration["migrations"] == \
+            immediate_migration["migrations"] == 1
+
+
+class TestDeferredMigrationGoldenTrace:
+    def test_golden_replay_stays_exact_through_deferred_migration(
+            self, rebalance_trace, monkeypatch):
+        """The golden-trace differential through a deferred migration:
+        decisions stay bit-exact and stable counters match the
+        single-process replay even when the forced move is held back by
+        an in-flight retrain for several batch boundaries."""
+        import repro.serve.sharded as sharded_module
+
+        tenants = sorted(rebalance_trace.rulesets)
+        sticky, _ = _sticky_controller({tenants[0]: 4})
+        monkeypatch.setattr(sharded_module, "RetrainController", sticky)
+        outcome = replay_trace(
+            rebalance_trace, serving_workers=2, serving_backend="serial",
+            retrain_threshold=10_000,
+            retrain_policy=RetrainPolicy(timesteps=300, max_iterations=1,
+                                         backend="serial"),
+            rebalance_policy=ScheduledRebalancePolicy(moves=(
+                (1, tenants[0], 1),
+            )),
+            rebalance_interval=0.01)
+        assert outcome.report.is_exact, outcome.report.mismatches[:3]
+        assert outcome.report.num_dropped == 0
+        counters, migration = _stable_counters(outcome.result.report)
+        assert migration["rebalance_deferred"] == 1
+        assert migration["migrations"] == 1
         single_counters, _ = \
             _stable_counters(replay_trace(rebalance_trace).result.report)
         assert counters == single_counters
